@@ -1,0 +1,70 @@
+"""Ablation — the OUTLIERSCLUSTER precision parameter ``eps_hat``.
+
+Algorithm 1 uses selection balls of radius ``(1 + 2 eps_hat) r`` and
+coverage balls of radius ``(3 + 4 eps_hat) r``; the paper sets
+``eps_hat = eps / 6`` so the end-to-end guarantee is ``3 + eps``. This
+ablation measures how the choice of ``eps_hat`` affects the sequential
+coreset algorithm's solution quality and the radius accepted by the
+search, holding the coreset fixed — quantifying how much slack the
+weighted analysis actually costs in practice (with ``eps_hat = 0`` the
+routine degenerates to the unweighted Charikar et al. ball radii).
+"""
+
+from __future__ import annotations
+
+from repro.core import SequentialKCenterOutliers
+from repro.datasets import inject_outliers
+from repro.evaluation import approximation_ratios, format_records
+
+from .conftest import attach_records, bench_seed
+
+K, Z, MU = 10, 60, 4
+EPS_HAT_VALUES = (0.0, 1.0 / 12.0, 1.0 / 6.0, 1.0 / 3.0, 2.0 / 3.0)
+
+
+def test_ablation_eps_hat(benchmark, paper_datasets):
+    injected = {
+        name: inject_outliers(points, Z, random_state=bench_seed())
+        for name, points in paper_datasets.items()
+    }
+
+    records = []
+    for name, injection in injected.items():
+        radii = {}
+        partial = []
+        for eps_hat in EPS_HAT_VALUES:
+            solver = SequentialKCenterOutliers(
+                K, Z, coreset_multiplier=MU, eps_hat=eps_hat, random_state=bench_seed()
+            )
+            result = solver.fit(injection.points)
+            radii[eps_hat] = result.radius
+            partial.append(
+                {
+                    "dataset": name,
+                    "eps_hat": round(eps_hat, 4),
+                    "radius": result.radius,
+                    "estimated_coreset_radius": result.radius_all_points,
+                    "time_s": result.elapsed_time,
+                }
+            )
+        ratios = approximation_ratios(radii)
+        for row, eps_hat in zip(partial, EPS_HAT_VALUES):
+            row["ratio"] = ratios[eps_hat]
+        records.extend(partial)
+
+    solver = SequentialKCenterOutliers(
+        K, Z, coreset_multiplier=MU, eps_hat=1.0 / 6.0, random_state=bench_seed()
+    )
+    benchmark.pedantic(
+        lambda: solver.fit(injected["power"].points), rounds=3, iterations=1
+    )
+
+    attach_records(
+        benchmark,
+        records,
+        printed_columns=["dataset", "eps_hat", "radius", "ratio", "time_s"],
+    )
+
+    # The solution quality should be insensitive to eps_hat over the range the
+    # paper uses (every configuration within 50% of the best for its dataset).
+    assert all(record["ratio"] <= 1.5 for record in records)

@@ -1,0 +1,56 @@
+"""Ablation — partitioning strategy for the outlier algorithm.
+
+The paper's Figure 4 stresses the deterministic algorithm by packing all
+planted outliers into a single partition. This ablation quantifies how
+much the partitioning strategy alone matters at a fixed coreset size:
+contiguous vs random vs adversarial placement for the deterministic
+algorithm, plus the randomized variant (which re-randomises the
+partitioning itself and shrinks the coresets).
+"""
+
+from __future__ import annotations
+
+from repro.core import MapReduceKCenterOutliers
+from repro.datasets import inject_outliers
+from repro.evaluation import ablation_partitioning
+
+from .conftest import attach_records, bench_seed
+
+K, Z, ELL, MU = 10, 60, 8, 4
+
+
+def test_ablation_partitioning(benchmark, paper_datasets):
+    points = paper_datasets["power"]
+    records = ablation_partitioning(
+        points, k=K, z=Z, ell=ELL, mu=MU, random_state=bench_seed()
+    )
+
+    injected = inject_outliers(points, Z, random_state=bench_seed())
+
+    def run_adversarial():
+        solver = MapReduceKCenterOutliers(
+            K, Z, ell=ELL, coreset_multiplier=MU,
+            partitioning="adversarial",
+            adversarial_indices=injected.outlier_indices,
+            random_state=bench_seed(),
+        )
+        return solver.fit(injected.points)
+
+    benchmark.pedantic(run_adversarial, rounds=3, iterations=1)
+
+    attach_records(
+        benchmark,
+        records,
+        printed_columns=["configuration", "coreset_size", "radius", "ratio"],
+    )
+
+    by_label = {record["configuration"]: record for record in records}
+    assert set(by_label) == {
+        "deterministic/contiguous",
+        "deterministic/random",
+        "deterministic/adversarial",
+        "randomized",
+    }
+    # The randomized variant uses smaller coresets than the deterministic ones.
+    deterministic_size = by_label["deterministic/contiguous"]["coreset_size"]
+    assert by_label["randomized"]["coreset_size"] <= deterministic_size

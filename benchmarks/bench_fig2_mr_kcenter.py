@@ -1,0 +1,48 @@
+"""Figure 2 — MapReduce k-center: approximation ratio vs coreset size and parallelism.
+
+Paper setup: Higgs (k=50), Power (k=100), Wiki (k=60); coresets of size
+``mu * k`` with mu in {1, 2, 4, 8}; parallelism ell in {2, 4, 8, 16};
+``mu = 1`` is the MALKOMESETAL baseline. Expected shape: the ratio
+decreases monotonically (on average) as mu grows, and larger ell also
+helps because the union coreset grows.
+
+This benchmark reproduces the same grid on scaled-down stand-ins and
+reports the per-configuration ratio table; the benchmark timing wraps a
+single representative configuration (mu=8, ell=8) so pytest-benchmark
+also tracks the algorithm's runtime across revisions.
+"""
+
+from __future__ import annotations
+
+from repro.core import MapReduceKCenter
+from repro.evaluation import figure2_mr_kcenter, summarize_series
+
+from .conftest import attach_records, bench_seed
+
+
+def test_figure2_mr_kcenter(benchmark, paper_datasets, bench_k_values):
+    records = figure2_mr_kcenter(
+        paper_datasets,
+        k_values=bench_k_values,
+        multipliers=(1, 2, 4, 8),
+        ells=(2, 4, 8, 16),
+        random_state=bench_seed(),
+    )
+
+    # Representative timed configuration.
+    dataset = paper_datasets["higgs"]
+    k = bench_k_values["higgs"]
+    solver = MapReduceKCenter(k, ell=8, coreset_multiplier=8, random_state=bench_seed())
+    benchmark.pedantic(lambda: solver.fit(dataset), rounds=3, iterations=1)
+
+    attach_records(
+        benchmark,
+        records,
+        printed_columns=["dataset", "ell", "mu", "radius", "ratio", "coreset_size", "local_memory"],
+    )
+
+    # Shape check mirroring the paper's claim: averaged over datasets and
+    # parallelism, mu = 8 is at least as good as the mu = 1 baseline.
+    by_mu = summarize_series(records, group_by="mu", value="ratio")
+    assert by_mu[8.0] <= by_mu[1.0] + 0.02
+    assert all(record["ratio"] >= 1.0 for record in records)

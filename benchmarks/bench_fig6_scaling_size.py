@@ -1,0 +1,72 @@
+"""Figure 6 — Scalability with respect to the input size.
+
+Paper setup: the Higgs/Power/Wiki datasets inflated 25/50/100-fold with a
+SMOTE-like perturbation (up to 1.1 billion points), randomized MapReduce
+algorithm with k=20, z=200, ell=16, coresets of size ``8 (k + 6 z / ell)``.
+Expected shape: running time grows linearly with the input size.
+
+At simulation scale the constant-cost final solve (the union-coreset size
+does not depend on n) can mask the linear part, so the table reports the
+coreset-phase time separately — that is the component whose work is
+proportional to the input and whose growth should look linear.
+
+The timed section wraps the largest inflated instance.
+"""
+
+from __future__ import annotations
+
+from repro.core import MapReduceKCenterOutliers
+from repro.datasets import inflate, inject_outliers
+from repro.evaluation import figure6_scaling_size
+
+from .conftest import attach_records, bench_seed
+
+K, Z, ELL, MU = 10, 40, 8, 4
+SIZE_FACTORS = (1, 2, 4, 8)
+
+
+def test_figure6_scaling_size(benchmark, paper_datasets):
+    base = {name: points[:500] for name, points in paper_datasets.items()}
+    records = figure6_scaling_size(
+        base,
+        k=K,
+        z=Z,
+        ell=ELL,
+        mu=MU,
+        size_factors=SIZE_FACTORS,
+        random_state=bench_seed(),
+    )
+
+    largest = inject_outliers(
+        inflate(base["power"], SIZE_FACTORS[-1], random_state=bench_seed()),
+        Z,
+        random_state=bench_seed(),
+    )
+
+    def run_largest():
+        solver = MapReduceKCenterOutliers(
+            K, Z, ell=ELL, coreset_multiplier=MU, randomized=True,
+            include_log_term=False, random_state=bench_seed(),
+        )
+        return solver.fit(largest.points)
+
+    benchmark.pedantic(run_largest, rounds=3, iterations=1)
+
+    attach_records(
+        benchmark,
+        records,
+        printed_columns=[
+            "dataset", "size_factor", "n_points", "radius",
+            "coreset_time_s", "solve_time_s", "time_s", "points_per_s",
+        ],
+    )
+
+    # Shape check: the coreset-phase work grows with the input size (compare
+    # the smallest and largest factor per dataset).
+    for dataset_name in base:
+        rows = sorted(
+            (r for r in records if r["dataset"] == dataset_name),
+            key=lambda r: r["size_factor"],
+        )
+        assert rows[-1]["n_points"] > rows[0]["n_points"]
+        assert rows[-1]["coreset_time_s"] >= rows[0]["coreset_time_s"] * 0.8

@@ -1,0 +1,69 @@
+"""Figure 7 — Scalability with respect to the number of processors.
+
+Paper setup: randomized MapReduce algorithm with k=20, z=200, the size of
+the *union* of the coresets fixed at ``8 (16 k + 6 z)``, parallelism ell
+in {1, 2, 4, 8, 16}; the plot separates the coreset-construction time
+(which shrinks super-linearly with ell, since each worker handles
+``|S|/ell`` points and builds a coreset a factor ell smaller) from the
+constant time of the final OUTLIERSCLUSTER solve.
+
+The simulated parallel time of the coreset phase is the slowest
+round-1 reducer; the benchmark checks that it decreases as ell grows and
+that the solve time stays roughly constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import MapReduceKCenterOutliers
+from repro.datasets import inject_outliers
+from repro.evaluation import figure7_scaling_processors
+
+from .conftest import attach_records, bench_seed
+
+K, Z = 10, 60
+ELLS = (1, 2, 4, 8, 16)
+
+
+def test_figure7_scaling_processors(benchmark, paper_datasets):
+    records = figure7_scaling_processors(
+        paper_datasets,
+        k=K,
+        z=Z,
+        ells=ELLS,
+        union_multiplier=8.0,
+        random_state=bench_seed(),
+    )
+
+    injected = inject_outliers(paper_datasets["power"], Z, random_state=bench_seed())
+
+    def run_ell16():
+        solver = MapReduceKCenterOutliers(
+            K, Z, ell=16, coreset_multiplier=8, randomized=True,
+            include_log_term=False, random_state=bench_seed(),
+        )
+        return solver.fit(injected.points)
+
+    benchmark.pedantic(run_ell16, rounds=3, iterations=1)
+
+    attach_records(
+        benchmark,
+        records,
+        printed_columns=[
+            "dataset", "ell", "per_partition_coreset", "union_coreset_size",
+            "radius", "coreset_time_parallel_s", "coreset_time_total_s", "solve_time_s",
+        ],
+    )
+
+    for dataset_name in paper_datasets:
+        rows = sorted(
+            (r for r in records if r["dataset"] == dataset_name),
+            key=lambda r: r["ell"],
+        )
+        # The (simulated) parallel coreset time at ell=16 is below the ell=1 time.
+        assert rows[-1]["coreset_time_parallel_s"] <= rows[0]["coreset_time_parallel_s"] + 1e-6
+        # The final solve runs on a union of roughly constant size, so its
+        # cost does not explode with ell.
+        solve_times = np.array([r["solve_time_s"] for r in rows])
+        assert solve_times.max() <= max(10 * solve_times.min(), solve_times.min() + 0.5)

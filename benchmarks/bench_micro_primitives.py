@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the core primitives.
+
+These do not correspond to a paper figure; they track the performance of
+the building blocks every experiment relies on, so regressions in the
+hot paths (GMM extension, weighted coreset construction, OUTLIERSCLUSTER,
+the streaming doubling coreset) are visible in benchmark history even
+when the figure-level numbers move for other reasons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    CoresetSpec,
+    OutliersClusterSolver,
+    StreamingCoreset,
+    build_coreset,
+    gmm_select,
+    search_radius,
+)
+from repro.metricspace import WeightedPoints
+
+from .conftest import bench_seed
+
+
+def _points(n: int, d: int = 7) -> np.ndarray:
+    return np.random.default_rng(bench_seed()).normal(size=(n, d))
+
+
+def test_gmm_select(benchmark):
+    points = _points(4000)
+    result = benchmark(lambda: gmm_select(points, 50))
+    assert result.n_centers == 50
+
+
+def test_weighted_coreset_construction(benchmark):
+    points = _points(4000)
+    spec = CoresetSpec.from_multiplier(60, 4)
+    result = benchmark(lambda: build_coreset(points, spec, weighted=True))
+    assert result.size == 240
+
+
+def test_outliers_cluster_single_run(benchmark):
+    points = _points(1200)
+    coreset = WeightedPoints(points=points, weights=np.ones(points.shape[0]))
+    solver = OutliersClusterSolver(coreset, k=20, eps_hat=1 / 6)
+    radius = float(np.median(solver.candidate_radii()))
+    result = benchmark(lambda: solver.run(radius))
+    assert result.n_centers <= 20
+
+
+def test_radius_search(benchmark):
+    points = _points(600)
+    coreset = WeightedPoints(points=points, weights=np.ones(points.shape[0]))
+    solver = OutliersClusterSolver(coreset, k=10, eps_hat=1 / 6)
+    result = benchmark(lambda: search_radius(solver, z=20))
+    assert result.solution.uncovered_weight <= 20
+
+
+def test_streaming_coreset_throughput(benchmark):
+    points = _points(8000)
+
+    def run():
+        coreset = StreamingCoreset(tau=200)
+        for point in points:
+            coreset.process(point)
+        return coreset
+
+    coreset = benchmark(run)
+    assert coreset.size <= 200

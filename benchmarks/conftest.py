@@ -1,0 +1,63 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one figure of the paper's evaluation section
+on scaled-down datasets (see ``DESIGN.md`` §3 and ``EXPERIMENTS.md``).
+The figures' result tables are printed to stdout (run pytest with ``-s``
+to see them) and attached to the pytest-benchmark ``extra_info`` so they
+are preserved in ``--benchmark-json`` output.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_POINTS`` — points per dataset stand-in (default 1500);
+* ``REPRO_BENCH_SEED`` — master seed (default 7).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.evaluation import default_datasets
+
+
+def bench_points() -> int:
+    """Dataset size used by the benchmark harness."""
+    return int(os.environ.get("REPRO_BENCH_POINTS", "1500"))
+
+
+def bench_seed() -> int:
+    """Master seed used by the benchmark harness."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+@pytest.fixture(scope="session")
+def paper_datasets():
+    """Scaled-down Higgs/Power/Wiki stand-ins shared by all benchmarks."""
+    return default_datasets(n_points=bench_points(), random_state=bench_seed())
+
+
+@pytest.fixture(scope="session")
+def bench_k_values():
+    """Per-dataset k values, scaled down with the dataset size.
+
+    The paper uses k = 50 / 100 / 60 on multi-million-point datasets; on the
+    default 1500-point stand-ins we keep the same ordering at a smaller
+    scale so clusters stay meaningful.
+    """
+    return {"higgs": 20, "power": 25, "wiki": 15}
+
+
+def attach_records(benchmark, records, *, printed_columns=None) -> None:
+    """Store experiment records on the benchmark and print them."""
+    from repro.evaluation import format_records
+
+    benchmark.extra_info["records"] = [
+        {key: (value.item() if hasattr(value, "item") else value)
+         for key, value in record.items()
+         if not hasattr(value, "__len__") or isinstance(value, str)}
+        for record in records
+    ]
+    table = format_records(records, columns=printed_columns)
+    print()
+    print(table)

@@ -1,0 +1,97 @@
+"""Scenario: plan a large clustering job, fit a model, persist and reuse it.
+
+A practitioner workflow on top of the paper's algorithms:
+
+1. **Plan** — before touching the full dataset, use the paper's memory
+   bounds (Corollaries 1–3, Theorem 3) to choose the parallelism and the
+   coreset sizes from the dataset size, k, z and an estimated doubling
+   dimension (`repro.core.plan_mapreduce` / `plan_streaming`).
+2. **Fit** — run the randomized MapReduce algorithm through the
+   scikit-learn-style `KCenterModel` facade.
+3. **Persist** — save the fitted solution (centers, radius, outliers) to
+   disk and load it back (`repro.save_solution` / `load_solution`).
+4. **Serve** — use the reloaded centers to assign cluster labels and flag
+   outliers on previously unseen points.
+
+Run with:  python examples/capacity_planning_and_model.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import load_solution, save_solution
+from repro.core import KCenterModel, MapReduceKCenterOutliers, plan_mapreduce, plan_streaming
+from repro.core.assignment import assign_to_centers
+from repro.datasets import higgs_like, inject_outliers
+from repro.evaluation import format_records
+
+
+def main() -> None:
+    # The "full" job we are planning for (the paper's Higgs scale)...
+    full_n, k, z = 11_000_000, 20, 200
+    # ...and the sample we actually run here.
+    sample_n = 6000
+
+    sample = higgs_like(sample_n, random_state=0)
+
+    # 1. Capacity planning from the theoretical bounds, with the doubling
+    #    dimension estimated on the sample.
+    mr_plan = plan_mapreduce(full_n, k, z=z, randomized=True, sample=sample, random_state=0)
+    stream_plan = plan_streaming(k, z, sample=sample, random_state=0)
+    print("Planned configuration for the full-scale job:")
+    print(format_records([
+        {
+            "setting": "MapReduce (randomized)",
+            "ell": mr_plan.ell,
+            "points/worker": mr_plan.per_partition_points,
+            "coreset/worker (practical)": mr_plan.coreset_size_practical,
+            "union coreset": mr_plan.union_coreset_size,
+            "peak local memory (points)": mr_plan.local_memory,
+            "estimated doubling dim": round(mr_plan.doubling_dimension, 2),
+        },
+        {
+            "setting": "Streaming (1-pass)",
+            "ell": "-",
+            "points/worker": "-",
+            "coreset/worker (practical)": stream_plan.coreset_size_practical,
+            "union coreset": "-",
+            "peak local memory (points)": stream_plan.working_memory,
+            "estimated doubling dim": round(stream_plan.doubling_dimension, 2),
+        },
+    ]))
+
+    # 2. Fit on the sample (with planted outliers) through the model facade.
+    injected = inject_outliers(sample, 100, random_state=1)
+    solver = MapReduceKCenterOutliers(
+        k, 100, ell=8, coreset_multiplier=4, randomized=True,
+        include_log_term=False, random_state=0, max_workers=2,
+    )
+    model = KCenterModel(solver).fit(injected.points)
+    print(f"\nFitted radius (excluding outliers): {model.radius:.3f}")
+
+    # 3. Persist the solution and reload it.
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp) / "higgs_gateways"
+        save_solution(model.fitted.raw_result, base,
+                      metadata={"dataset": "higgs-like sample", "k": k, "z": 100})
+        reloaded = load_solution(base)
+        print(f"Reloaded solution: {reloaded.k} centers, radius {reloaded.radius:.3f}")
+
+    # 4. Serve: label fresh points and flag anomalies with the fitted model.
+    fresh = higgs_like(1000, random_state=7)
+    fresh_with_anomalies = np.vstack([fresh, fresh[:5] + 1e4])
+    labels = model.predict(fresh_with_anomalies)
+    anomalies = model.outlier_mask(fresh_with_anomalies)
+    clustering = assign_to_centers(fresh, model.centers)
+    print(f"\nServing 1005 new points: {len(np.unique(labels))} clusters used, "
+          f"{int(anomalies.sum())} flagged as outliers "
+          f"(the 5 injected anomalies are {'all' if anomalies[-5:].all() else 'NOT all'} caught)")
+    print(f"Radius of the fitted centers on the fresh sample: {clustering.radius:.3f}")
+
+
+if __name__ == "__main__":
+    main()

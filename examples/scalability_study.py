@@ -1,0 +1,75 @@
+"""Scenario: how the randomized MapReduce algorithm scales (Figures 6 and 7).
+
+Two questions a practitioner asks before deploying the algorithm on a
+cluster:
+
+1. *How does the running time grow with the input size?* — we inflate a
+   Power-like dataset with the paper's SMOTE-style procedure and measure
+   the end-to-end time of the randomized outlier algorithm (Figure 6).
+2. *How does it scale with the number of workers?* — we hold the size of
+   the union of the coresets fixed and vary the parallelism ``ell``,
+   reporting the simulated parallel time of the coreset phase (the
+   slowest worker) and the fixed cost of the final OUTLIERSCLUSTER phase
+   (Figure 7).
+
+Run with:  python examples/scalability_study.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import power_like
+from repro.evaluation import (
+    figure6_scaling_size,
+    figure7_scaling_processors,
+    format_records,
+)
+
+
+def main() -> None:
+    base = power_like(2000, random_state=0)
+
+    print("Scaling with the input size (randomized MapReduce, k=20, z=100):\n")
+    size_records = figure6_scaling_size(
+        {"power": base},
+        k=20,
+        z=100,
+        ell=8,
+        mu=4,
+        size_factors=(1, 2, 4, 8),
+        random_state=0,
+    )
+    print(format_records(
+        size_records,
+        columns=["size_factor", "n_points", "radius", "time_s", "points_per_s"],
+    ))
+
+    print("\nScaling with the number of workers (fixed union-coreset size):\n")
+    processor_records = figure7_scaling_processors(
+        {"power": base},
+        k=20,
+        z=100,
+        ells=(1, 2, 4, 8, 16),
+        random_state=0,
+    )
+    print(format_records(
+        processor_records,
+        columns=[
+            "ell",
+            "per_partition_coreset",
+            "radius",
+            "coreset_time_parallel_s",
+            "coreset_time_total_s",
+            "solve_time_s",
+        ],
+    ))
+
+    print(
+        "\nThe coreset phase dominates at low parallelism and shrinks "
+        "super-linearly as ell grows (each worker builds a smaller coreset "
+        "over fewer points), while the final solve on the fixed-size union "
+        "stays constant — the behaviour reported in the paper's Figure 7."
+    )
+
+
+if __name__ == "__main__":
+    main()

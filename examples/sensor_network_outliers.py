@@ -1,0 +1,94 @@
+"""Scenario: placing gateways for a sensor network with faulty sensors.
+
+A utility company has hundreds of thousands of smart meters (we simulate
+their feature vectors from the Power-like generator) and wants to choose
+``k`` gateway locations minimising the worst meter-to-gateway "distance"
+(a proxy for communication cost). A fraction of the meters are faulty and
+report garbage readings far outside the normal range — classic outliers
+that would otherwise dominate the k-center objective.
+
+The script compares, on the same data:
+
+* the mu = 1 MapReduce baseline of Malkomes et al. [26];
+* the paper's deterministic algorithm with larger coresets (mu = 4, 8);
+* the randomized variant, which keeps coresets small even when the number
+  of faulty meters is large;
+
+under an *adversarial* partitioning that routes every faulty meter to the
+same worker — the stress case of the paper's Figure 4.
+
+Run with:  python examples/sensor_network_outliers.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import MapReduceKCenterOutliers
+from repro.baselines import MalkomesKCenterOutliers
+from repro.datasets import inject_outliers, power_like
+from repro.evaluation import approximation_ratios, format_records
+
+
+def main() -> None:
+    n_meters = 8000
+    k = 20           # gateways to place
+    z = 200          # faulty meters the objective may ignore
+    ell = 16         # parallel workers
+
+    readings = power_like(n_meters, random_state=0)
+    injected = inject_outliers(readings, z, random_state=1)
+    faulty = injected.outlier_indices
+
+    configurations = []
+    configurations.append(
+        ("MalkomesEtAl (mu=1)", MalkomesKCenterOutliers(
+            k, z, ell=ell, partitioning="adversarial",
+            adversarial_indices=faulty, random_state=0,
+        ))
+    )
+    for mu in (4, 8):
+        configurations.append(
+            (f"deterministic mu={mu}", MapReduceKCenterOutliers(
+                k, z, ell=ell, coreset_multiplier=mu, partitioning="adversarial",
+                adversarial_indices=faulty, random_state=0,
+            ))
+        )
+    for mu in (4, 8):
+        configurations.append(
+            (f"randomized mu={mu}", MapReduceKCenterOutliers(
+                k, z, ell=ell, coreset_multiplier=mu, randomized=True,
+                include_log_term=False, random_state=0,
+            ))
+        )
+
+    records = []
+    radii = {}
+    for label, solver in configurations:
+        start = time.perf_counter()
+        result = solver.fit(injected.points)
+        elapsed = time.perf_counter() - start
+        radii[label] = result.radius
+        records.append(
+            {
+                "algorithm": label,
+                "radius": result.radius,
+                "coreset size": result.coreset_size,
+                "faulty meters recovered": len(set(result.outlier_indices) & set(faulty)),
+                "time (s)": elapsed,
+            }
+        )
+
+    ratios = approximation_ratios(radii)
+    for record in records:
+        record["ratio vs best"] = ratios[record["algorithm"]]
+
+    print(f"Gateway placement: {n_meters} meters, k={k}, z={z}, ell={ell}, "
+          f"all {z} faulty meters packed into one worker\n")
+    print(format_records(records))
+    print("\nLarger coresets (mu) recover solution quality under adversarial "
+          "placement; the randomized variant gets there with far smaller coresets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Scenario: the coreset trick as a drop-in sequential accelerator.
+
+The paper's Section 3.2 observes that running the MapReduce algorithm
+with ``ell = 1`` gives a *sequential* algorithm for k-center with
+outliers that is dramatically faster than the classical algorithm of
+Charikar et al. [16] while preserving solution quality — its Figure 8.
+
+This script reproduces that comparison on a sample of a Higgs-like
+dataset: the quadratic CHARIKARETAL baseline versus the coreset-based
+sequential solver at increasing coreset multipliers, reporting running
+time and clustering radius (after discarding the planted outliers).
+
+Run with:  python examples/sequential_speedup.py
+"""
+
+from __future__ import annotations
+
+from repro import SequentialKCenterOutliers
+from repro.baselines import CharikarKCenterOutliers
+from repro.datasets import higgs_like, inject_outliers
+from repro.evaluation import format_records
+
+
+def main() -> None:
+    n_points = 3000   # the paper samples 10 000; keep the demo snappy
+    k, z = 20, 100
+
+    sample = higgs_like(n_points, random_state=0)
+    injected = inject_outliers(sample, z, random_state=1)
+    data = injected.points
+
+    records = []
+
+    charikar = CharikarKCenterOutliers(k, z, max_points=data.shape[0]).fit(data)
+    records.append(
+        {
+            "algorithm": "CharikarEtAl [16]",
+            "radius": charikar.radius,
+            "time (s)": charikar.elapsed_time,
+            "coreset size": data.shape[0],
+        }
+    )
+
+    for mu in (1, 2, 4, 8):
+        label = "MalkomesEtAl [26]" if mu == 1 else f"Ours (mu={mu})"
+        result = SequentialKCenterOutliers(k, z, coreset_multiplier=mu, random_state=0).fit(data)
+        records.append(
+            {
+                "algorithm": label,
+                "radius": result.radius,
+                "time (s)": result.elapsed_time,
+                "coreset size": result.coreset_size,
+            }
+        )
+
+    print(f"Sequential k-center with outliers on {data.shape[0]} points (k={k}, z={z})\n")
+    print(format_records(records))
+    print("\nBuilding a coreset first cuts the running time by an order of "
+          "magnitude; with mu >= 2 the radius is essentially the same as the "
+          "quadratic baseline's.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+editable installs keep working on fully offline machines whose setuptools
+cannot build PEP 660 editable wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,100 @@
+"""repro: coreset-based k-center clustering (with outliers) in MapReduce and Streaming.
+
+A faithful re-implementation of
+
+    Ceccarello, Pietracaprina, Pucci.
+    "Solving k-center Clustering (with Outliers) in MapReduce and Streaming,
+    almost as Accurately as Sequentially." VLDB 2019.
+
+The package is organised in layers:
+
+* :mod:`repro.metricspace` — points, metrics, enclosing balls, doubling dimension;
+* :mod:`repro.datasets` — synthetic generators, paper-dataset stand-ins, outlier
+  injection and SMOTE-style inflation;
+* :mod:`repro.core` — GMM, composable coresets, OUTLIERSCLUSTER, and the
+  MapReduce / Streaming / sequential solvers of the paper;
+* :mod:`repro.mapreduce` and :mod:`repro.streaming` — the simulated execution
+  substrates with memory and throughput accounting;
+* :mod:`repro.baselines` — the comparison algorithms of [15, 16, 26, 27];
+* :mod:`repro.evaluation` — experiment drivers regenerating every figure of
+  the paper's evaluation section.
+
+Quickstart
+----------
+>>> from repro import MapReduceKCenter
+>>> from repro.datasets import gaussian_mixture, GaussianMixtureSpec
+>>> points = gaussian_mixture(1000, GaussianMixtureSpec(8, 3), random_state=0)
+>>> result = MapReduceKCenter(k=8, ell=4, coreset_multiplier=4, random_state=0).fit(points)
+>>> result.radius > 0
+True
+"""
+
+from .core import (
+    GMM,
+    CoresetSpec,
+    CoresetStreamKCenter,
+    CoresetStreamOutliers,
+    KCenterModel,
+    MapReduceKCenter,
+    MapReduceKCenterOutliers,
+    OutliersClusterSolver,
+    SequentialKCenter,
+    SequentialKCenterOutliers,
+    StreamingCoreset,
+    TwoPassStreamOutliers,
+    assign_to_centers,
+    clustering_radius,
+    gmm_adaptive,
+    gmm_select,
+    plan_mapreduce,
+    plan_streaming,
+    radius_with_outliers,
+    search_radius,
+)
+from .io import SavedSolution, load_solution, save_solution
+from .exceptions import (
+    DatasetError,
+    InvalidParameterError,
+    MemoryBudgetExceededError,
+    NotFittedError,
+    ReproError,
+    StreamingProtocolError,
+)
+from .metricspace import Dataset, WeightedPoints
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GMM",
+    "CoresetSpec",
+    "CoresetStreamKCenter",
+    "CoresetStreamOutliers",
+    "Dataset",
+    "DatasetError",
+    "InvalidParameterError",
+    "KCenterModel",
+    "MapReduceKCenter",
+    "MapReduceKCenterOutliers",
+    "MemoryBudgetExceededError",
+    "NotFittedError",
+    "OutliersClusterSolver",
+    "ReproError",
+    "SavedSolution",
+    "SequentialKCenter",
+    "SequentialKCenterOutliers",
+    "StreamingCoreset",
+    "StreamingProtocolError",
+    "TwoPassStreamOutliers",
+    "WeightedPoints",
+    "assign_to_centers",
+    "clustering_radius",
+    "gmm_adaptive",
+    "gmm_select",
+    "load_solution",
+    "plan_mapreduce",
+    "plan_streaming",
+    "radius_with_outliers",
+    "save_solution",
+    "search_radius",
+    "__version__",
+]

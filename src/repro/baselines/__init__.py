@@ -1,0 +1,33 @@
+"""Baseline algorithms the paper compares against.
+
+* :class:`CharikarKCenterOutliers` — sequential 3-approximation with outliers [16].
+* :class:`MalkomesKCenter` / :class:`MalkomesKCenterOutliers` — MapReduce baselines [26].
+* :class:`BaseStreamKCenter` / :class:`BaseStreamOutliers` — streaming baselines modelled after [27].
+* :class:`DoublingStreamKCenter` — the 8-approximation streaming algorithm [15].
+* :func:`gonzalez_kcenter` — Gonzalez's sequential 2-approximation [20].
+"""
+
+from .charikar import CharikarKCenterOutliers, CharikarResult
+from .doubling_stream import DoublingStreamKCenter, DoublingStreamSolution
+from .gonzalez import gonzalez_kcenter
+from .malkomes import MalkomesKCenter, MalkomesKCenterOutliers
+from .mccutchen import (
+    BaseOutliersSolution,
+    BaseStreamKCenter,
+    BaseStreamOutliers,
+    BaseStreamSolution,
+)
+
+__all__ = [
+    "BaseOutliersSolution",
+    "BaseStreamKCenter",
+    "BaseStreamOutliers",
+    "BaseStreamSolution",
+    "CharikarKCenterOutliers",
+    "CharikarResult",
+    "DoublingStreamKCenter",
+    "DoublingStreamSolution",
+    "MalkomesKCenter",
+    "MalkomesKCenterOutliers",
+    "gonzalez_kcenter",
+]

@@ -1,0 +1,145 @@
+"""CHARIKARETAL: the sequential 3-approximation for k-center with outliers [16].
+
+Charikar, Khuller, Mount and Narasimhan's algorithm is the state-of-the-art
+sequential baseline the paper compares against in Figure 8. As the paper
+observes, it "amounts to O(log |S|) executions of OUTLIERSCLUSTER with
+eps_hat = 0 and unit weights on the entire input S": for a guessed radius
+``r`` the greedy repeatedly picks the point whose ``r``-ball covers the
+most uncovered points and discards everything within ``3r``; the smallest
+guess that leaves at most ``z`` points uncovered gives a 3-approximation.
+
+We implement it exactly that way, reusing
+:class:`~repro.core.outliers_cluster.OutliersClusterSolver` with unit
+weights and ``eps_hat = 0`` over the whole dataset. Its running time is
+``O(k |S|^2 log |S|)`` and it stores the full pairwise distance matrix, so
+it is only practical for samples of a few thousand points — which is
+precisely why the paper's Figure 8 runs it on 10 000-point samples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import (
+    check_non_negative_int,
+    check_points,
+    check_positive_int,
+)
+from ..exceptions import InvalidParameterError
+from ..core.assignment import assign_to_centers
+from ..core.outliers_cluster import OutliersClusterSolver
+from ..core.radius_search import search_radius
+from ..metricspace.distance import Metric, get_metric
+from ..metricspace.points import WeightedPoints
+
+__all__ = ["CharikarResult", "CharikarKCenterOutliers"]
+
+
+@dataclass(frozen=True)
+class CharikarResult:
+    """Result of the Charikar et al. baseline.
+
+    Attributes
+    ----------
+    centers:
+        ``(<=k, d)`` coordinates of the selected centers.
+    center_indices:
+        Indices of the centers in the input dataset.
+    radius:
+        Radius after discarding the ``z`` farthest points.
+    radius_all_points:
+        Plain radius including outliers.
+    outlier_indices:
+        Indices of the ``z`` points left farthest from the centers.
+    estimated_radius:
+        The radius guess accepted by the search.
+    search_probes:
+        Number of greedy executions performed by the search.
+    elapsed_time:
+        Wall-clock seconds of the whole run.
+    """
+
+    centers: np.ndarray
+    center_indices: np.ndarray
+    radius: float
+    radius_all_points: float
+    outlier_indices: np.ndarray
+    estimated_radius: float
+    search_probes: int
+    elapsed_time: float
+
+    @property
+    def k(self) -> int:
+        """Number of returned centers."""
+        return int(self.centers.shape[0])
+
+
+class CharikarKCenterOutliers:
+    """Sequential 3-approximation for k-center with z outliers (baseline of [16]).
+
+    Parameters
+    ----------
+    k, z:
+        Number of centers and outlier budget.
+    metric:
+        Metric name or instance.
+    max_points:
+        Safety limit on the input size: the algorithm materialises the full
+        pairwise distance matrix (``O(n^2)`` memory), so runs on more than
+        this many points are refused with a clear error instead of
+        exhausting memory. Raise it explicitly for bigger machines.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        z: int,
+        *,
+        metric: str | Metric = "euclidean",
+        max_points: int = 20_000,
+    ) -> None:
+        self.k = check_positive_int(k, name="k")
+        self.z = check_non_negative_int(z, name="z")
+        self.metric = get_metric(metric)
+        self.max_points = check_positive_int(max_points, name="max_points")
+
+    def fit(self, points) -> CharikarResult:
+        """Run the baseline on ``points`` and return the solution."""
+        pts = check_points(points)
+        n = pts.shape[0]
+        if n > self.max_points:
+            raise InvalidParameterError(
+                f"CharikarKCenterOutliers stores an O(n^2) distance matrix; "
+                f"refusing to run on {n} > max_points={self.max_points} points"
+            )
+        if self.k > n:
+            raise InvalidParameterError(f"k={self.k} exceeds the dataset size {n}")
+        if self.z >= n:
+            raise InvalidParameterError(f"z={self.z} must be smaller than the dataset size {n}")
+
+        start = time.perf_counter()
+        unit_weighted = WeightedPoints(
+            points=pts,
+            weights=np.ones(n),
+            origin_indices=np.arange(n, dtype=np.intp),
+        )
+        solver = OutliersClusterSolver(unit_weighted, self.k, eps_hat=0.0, metric=self.metric)
+        search = search_radius(solver, self.z)
+        elapsed = time.perf_counter() - start
+
+        positions = search.solution.center_indices
+        centers = pts[positions]
+        clustering = assign_to_centers(pts, centers, self.metric)
+        return CharikarResult(
+            centers=centers,
+            center_indices=positions,
+            radius=clustering.radius_excluding(self.z),
+            radius_all_points=clustering.radius,
+            outlier_indices=clustering.outlier_indices(self.z),
+            estimated_radius=search.radius,
+            search_probes=search.probes,
+            elapsed_time=elapsed,
+        )

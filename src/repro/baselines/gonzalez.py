@@ -1,0 +1,39 @@
+"""Gonzalez's sequential 2-approximation as an explicit baseline entry point.
+
+The GMM traversal lives in :mod:`repro.core.gmm` because it is the
+building block of every coreset in the package; this module simply
+re-exports it under the baseline namespace so that experiment code can
+refer to all comparison algorithms uniformly (``repro.baselines.*``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.gmm import GMMResult, gmm_select
+from ..metricspace.distance import Metric
+
+__all__ = ["gonzalez_kcenter"]
+
+
+def gonzalez_kcenter(
+    points,
+    k: int,
+    metric: str | Metric = "euclidean",
+    *,
+    random_state=None,
+) -> GMMResult:
+    """Run Gonzalez's farthest-first traversal and return its result.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` input points.
+    k:
+        Number of centers.
+    metric:
+        Metric name or instance.
+    random_state:
+        Seed for the arbitrary first-center choice (``None`` = index 0).
+    """
+    return gmm_select(points, k, metric, random_state=random_state)

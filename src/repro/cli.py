@@ -1,0 +1,185 @@
+"""Command-line interface for the repro package.
+
+Two groups of subcommands are provided:
+
+* ``solve`` — run one of the solvers on a synthetic dataset (or one of
+  the paper-dataset stand-ins) and print the solution summary; handy for
+  quick experimentation without writing a script.
+* ``figure2`` … ``figure8`` and ``ablation-*`` — regenerate one of the
+  paper's experiments at a configurable scale and print its result table.
+
+Examples
+--------
+::
+
+    python -m repro solve mr-outliers --dataset power --n-points 5000 \
+        --k 20 --z 100 --ell 8 --mu 4 --randomized
+    python -m repro figure2 --n-points 2000
+    python -m repro figure8 --sample-size 1500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .core import (
+    MapReduceKCenter,
+    MapReduceKCenterOutliers,
+    SequentialKCenter,
+    SequentialKCenterOutliers,
+)
+from .datasets import inject_outliers, load_paper_dataset
+from .evaluation import (
+    ablation_coreset_stopping,
+    ablation_partitioning,
+    default_datasets,
+    figure2_mr_kcenter,
+    figure3_stream_kcenter,
+    figure4_mr_outliers,
+    figure5_stream_outliers,
+    figure6_scaling_size,
+    figure7_scaling_processors,
+    figure8_sequential,
+    format_records,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_common_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n-points", type=int, default=2000, help="points per dataset stand-in")
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+
+
+def _solve(args: argparse.Namespace) -> int:
+    points = load_paper_dataset(args.dataset, args.n_points, random_state=args.seed)
+    if args.command in ("mr-outliers", "sequential-outliers"):
+        injected = inject_outliers(points, args.z, random_state=args.seed + 1)
+        points = injected.points
+
+    if args.command == "mr-kcenter":
+        solver = MapReduceKCenter(
+            args.k, ell=args.ell, coreset_multiplier=args.mu, random_state=args.seed
+        )
+        result = solver.fit(points)
+        rows = [{
+            "algorithm": "MapReduceKCenter",
+            "radius": result.radius,
+            "coreset_size": result.coreset_size,
+            "peak_local_memory": result.stats.peak_local_memory,
+        }]
+    elif args.command == "mr-outliers":
+        solver = MapReduceKCenterOutliers(
+            args.k, args.z, ell=args.ell, coreset_multiplier=args.mu,
+            randomized=args.randomized, include_log_term=False, random_state=args.seed,
+        )
+        result = solver.fit(points)
+        rows = [{
+            "algorithm": "MapReduceKCenterOutliers" + (" (randomized)" if args.randomized else ""),
+            "radius": result.radius,
+            "radius_all_points": result.radius_all_points,
+            "coreset_size": result.coreset_size,
+            "peak_local_memory": result.stats.peak_local_memory,
+        }]
+    elif args.command == "sequential-kcenter":
+        result = SequentialKCenter(args.k, random_state=args.seed).fit(points)
+        rows = [{
+            "algorithm": "SequentialKCenter (GMM)",
+            "radius": result.radius,
+            "time_s": result.elapsed_time,
+        }]
+    else:  # sequential-outliers
+        result = SequentialKCenterOutliers(
+            args.k, args.z, coreset_multiplier=args.mu, random_state=args.seed
+        ).fit(points)
+        rows = [{
+            "algorithm": "SequentialKCenterOutliers",
+            "radius": result.radius,
+            "radius_all_points": result.radius_all_points,
+            "coreset_size": result.coreset_size,
+            "time_s": result.elapsed_time,
+        }]
+
+    print(format_records(rows))
+    return 0
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    datasets = default_datasets(n_points=args.n_points, random_state=args.seed)
+    figure = args.figure
+    if figure == "figure2":
+        records = figure2_mr_kcenter(datasets, random_state=args.seed)
+    elif figure == "figure3":
+        records = figure3_stream_kcenter(datasets, random_state=args.seed)
+    elif figure == "figure4":
+        records = figure4_mr_outliers(datasets, k=args.k, z=args.z, random_state=args.seed)
+    elif figure == "figure5":
+        records = figure5_stream_outliers(datasets, k=args.k, z=args.z, random_state=args.seed)
+    elif figure == "figure6":
+        records = figure6_scaling_size(datasets, k=args.k, z=args.z, random_state=args.seed)
+    elif figure == "figure7":
+        records = figure7_scaling_processors(datasets, k=args.k, z=args.z, random_state=args.seed)
+    elif figure == "figure8":
+        records = figure8_sequential(
+            datasets, k=args.k, z=args.z, sample_size=args.sample_size, random_state=args.seed
+        )
+    elif figure == "ablation-coreset":
+        records = ablation_coreset_stopping(
+            next(iter(datasets.values())), k=args.k, random_state=args.seed
+        )
+    else:  # ablation-partitioning
+        records = ablation_partitioning(
+            next(iter(datasets.values())), k=args.k, z=args.z, random_state=args.seed
+        )
+    print(format_records(records))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Coreset-based k-center clustering (with outliers) in MapReduce and Streaming",
+    )
+    subparsers = parser.add_subparsers(dest="group", required=True)
+
+    solve = subparsers.add_parser("solve", help="run one solver on a dataset stand-in")
+    solve_sub = solve.add_subparsers(dest="command", required=True)
+    for name in ("mr-kcenter", "mr-outliers", "sequential-kcenter", "sequential-outliers"):
+        sub = solve_sub.add_parser(name)
+        sub.add_argument("--dataset", choices=("higgs", "power", "wiki"), default="higgs")
+        sub.add_argument("--k", type=int, default=20)
+        sub.add_argument("--z", type=int, default=100)
+        sub.add_argument("--ell", type=int, default=8)
+        sub.add_argument("--mu", type=float, default=4.0)
+        sub.add_argument("--randomized", action="store_true")
+        _add_common_dataset_arguments(sub)
+        sub.set_defaults(handler=_solve)
+
+    figure_names = (
+        "figure2", "figure3", "figure4", "figure5", "figure6", "figure7", "figure8",
+        "ablation-coreset", "ablation-partitioning",
+    )
+    for name in figure_names:
+        sub = subparsers.add_parser(name, help=f"regenerate the paper's {name}")
+        sub.add_argument("--k", type=int, default=20)
+        sub.add_argument("--z", type=int, default=100)
+        sub.add_argument("--sample-size", type=int, default=1500)
+        _add_common_dataset_arguments(sub)
+        sub.set_defaults(handler=_run_figure, figure=name)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler: Callable[[argparse.Namespace], int] = args.handler
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Core algorithms: GMM, coresets, OUTLIERSCLUSTER, MapReduce / Streaming / sequential solvers."""
+
+from .assignment import (
+    Clustering,
+    assign_to_centers,
+    clustering_radius,
+    evaluate_solution,
+    radius_with_outliers,
+)
+from .coreset import CoresetResult, CoresetSpec, build_coreset, build_weighted_coreset
+from .doubling_coreset import StreamingCoreset
+from .gmm import GMM, GMMResult, gmm_adaptive, gmm_select, gmm_until_radius
+from .model import FittedClustering, KCenterModel
+from .mr_kcenter import MapReduceKCenter, MRKCenterResult
+from .mr_outliers import MapReduceKCenterOutliers, MROutliersResult
+from .outliers_cluster import (
+    OutliersClusterResult,
+    OutliersClusterSolver,
+    outliers_cluster,
+)
+from .planner import MapReducePlan, StreamingPlan, plan_mapreduce, plan_streaming
+from .radius_search import RadiusSearchResult, delta_for, search_radius
+from .sequential import SequentialKCenter, SequentialKCenterOutliers, SequentialResult
+from .stream_kcenter import (
+    CoresetStreamKCenter,
+    StreamKCenterSolution,
+    streaming_coreset_size,
+)
+from .stream_outliers import (
+    CoresetStreamOutliers,
+    StreamOutliersSolution,
+    TwoPassStreamOutliers,
+)
+
+__all__ = [
+    "GMM",
+    "GMMResult",
+    "Clustering",
+    "CoresetResult",
+    "CoresetSpec",
+    "CoresetStreamKCenter",
+    "CoresetStreamOutliers",
+    "FittedClustering",
+    "KCenterModel",
+    "MRKCenterResult",
+    "MROutliersResult",
+    "MapReducePlan",
+    "MapReduceKCenter",
+    "MapReduceKCenterOutliers",
+    "OutliersClusterResult",
+    "OutliersClusterSolver",
+    "RadiusSearchResult",
+    "SequentialKCenter",
+    "SequentialKCenterOutliers",
+    "SequentialResult",
+    "StreamKCenterSolution",
+    "StreamOutliersSolution",
+    "StreamingCoreset",
+    "StreamingPlan",
+    "TwoPassStreamOutliers",
+    "assign_to_centers",
+    "build_coreset",
+    "build_weighted_coreset",
+    "clustering_radius",
+    "delta_for",
+    "evaluate_solution",
+    "gmm_adaptive",
+    "gmm_select",
+    "gmm_until_radius",
+    "outliers_cluster",
+    "plan_mapreduce",
+    "plan_streaming",
+    "radius_with_outliers",
+    "search_radius",
+    "streaming_coreset_size",
+]

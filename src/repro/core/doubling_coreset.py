@@ -1,0 +1,262 @@
+"""Weighted doubling-algorithm coreset for the Streaming setting (Section 4).
+
+The 1-pass Streaming algorithm cannot use GMM (no efficient streaming
+implementation exists), so the paper adapts the *doubling algorithm* of
+Charikar et al. [15] to maintain a weighted coreset ``T`` of at most
+``tau`` centers together with a lower bound ``phi`` on the optimal
+``tau``-center radius. The data structure maintains the paper's
+invariants:
+
+(a) ``|T| <= tau``;
+(b) any two centers are more than ``4 * phi`` apart;
+(c) every processed point is within ``8 * phi`` of its proxy center;
+(d) each center's weight is the number of points it is proxy for;
+(e) ``phi <= r*_tau(S)``.
+
+Processing a point applies the *update rule* (assign to the closest
+center if within ``8 * phi``, else open a new center) and, when the
+center budget overflows, the *merge rule* (double ``phi`` and merge
+centers closer than ``4 * phi``) until invariant (a) is restored.
+
+:class:`StreamingCoreset` is used by the streaming k-center algorithm
+(with ``tau = mu * k``), the streaming outlier algorithm (with
+``tau = mu * (k + z)`` or the theoretical ``(k+z)(16/eps)^D``), and the
+8-approximation baseline of [15] (with ``tau = k``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import InvalidParameterError, NotFittedError
+from ..metricspace.distance import Metric, get_metric
+from ..metricspace.points import WeightedPoints
+
+__all__ = ["StreamingCoreset"]
+
+
+class StreamingCoreset:
+    """Maintain a weighted coreset of at most ``tau`` centers over a stream.
+
+    Parameters
+    ----------
+    tau:
+        Maximum number of coreset centers kept in memory.
+    metric:
+        Metric name or instance.
+
+    Notes
+    -----
+    The first ``tau + 1`` points are buffered verbatim (this is the
+    initialisation phase of the doubling algorithm); afterwards the
+    working memory never exceeds ``tau + 1`` stored points, independent of
+    the stream length — the property Corollary 4 relies on.
+    """
+
+    def __init__(self, tau: int, metric: str | Metric = "euclidean") -> None:
+        self._tau = check_positive_int(tau, name="tau")
+        self._metric = get_metric(metric)
+        self._buffer: list[np.ndarray] = []
+        self._centers: np.ndarray | None = None  # (capacity, d) storage
+        self._weights: np.ndarray | None = None
+        self._size = 0
+        self._phi = 0.0
+        self._dimension: int | None = None
+        self._n_processed = 0
+
+    # -- read-only state ----------------------------------------------------------------
+
+    @property
+    def tau(self) -> int:
+        """The center budget."""
+        return self._tau
+
+    @property
+    def phi(self) -> float:
+        """The current lower bound on the optimal ``tau``-center radius."""
+        return self._phi
+
+    @property
+    def n_processed(self) -> int:
+        """Number of stream points processed so far."""
+        return self._n_processed
+
+    @property
+    def is_initialized(self) -> bool:
+        """Whether the initialisation buffer has been promoted to centers."""
+        return self._centers is not None
+
+    @property
+    def size(self) -> int:
+        """Current number of centers (0 while still buffering)."""
+        return self._size
+
+    @property
+    def working_memory_size(self) -> int:
+        """Stored points: buffered points plus retained centers."""
+        return len(self._buffer) + self._size
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Coordinates of the current centers (also valid during buffering)."""
+        if self._centers is None:
+            if not self._buffer:
+                return np.empty((0, 0))
+            return np.vstack(self._buffer)
+        return np.array(self._centers[: self._size])
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Weights (proxy counts) of the current centers."""
+        if self._centers is None:
+            return np.ones(len(self._buffer))
+        return np.array(self._weights[: self._size])
+
+    # -- internal helpers -----------------------------------------------------------------
+
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = self._centers.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, capacity * 2)
+        centers = np.zeros((new_capacity, self._dimension))
+        weights = np.zeros(new_capacity)
+        centers[: self._size] = self._centers[: self._size]
+        weights[: self._size] = self._weights[: self._size]
+        self._centers = centers
+        self._weights = weights
+
+    def _append_center(self, point: np.ndarray, weight: float) -> None:
+        self._ensure_capacity(1)
+        self._centers[self._size] = point
+        self._weights[self._size] = weight
+        self._size += 1
+
+    def _active_pairwise(self) -> np.ndarray:
+        return self._metric.pairwise(self._centers[: self._size])
+
+    def _min_positive_pairwise(self) -> float:
+        pairs = self._active_pairwise()
+        upper = pairs[np.triu_indices(self._size, k=1)]
+        positive = upper[upper > 0]
+        return float(positive.min()) if positive.size else 0.0
+
+    def _merge_centers(self) -> None:
+        """Enforce invariant (b): merge centers at distance <= 4 * phi.
+
+        A greedy sweep keeps the first center of every violating pair and
+        folds the discarded center's weight into the survivor closest to it,
+        which conceptually re-targets the proxy function as in the paper.
+        """
+        if self._size <= 1:
+            return
+        pairs = self._active_pairwise()
+        threshold = 4.0 * self._phi
+        keep: list[int] = []
+        merged_weights = np.array(self._weights[: self._size])
+        discarded = np.zeros(self._size, dtype=bool)
+        for index in range(self._size):
+            if discarded[index]:
+                continue
+            keep.append(index)
+            # Fold every not-yet-discarded later center within threshold into
+            # this survivor.
+            close = np.flatnonzero(
+                (pairs[index] <= threshold) & ~discarded & (np.arange(self._size) > index)
+            )
+            if close.size:
+                merged_weights[index] += merged_weights[close].sum()
+                discarded[close] = True
+        if len(keep) == self._size:
+            return
+        kept_indices = np.array(keep, dtype=np.intp)
+        new_size = kept_indices.shape[0]
+        self._centers[:new_size] = self._centers[kept_indices]
+        self._weights[:new_size] = merged_weights[kept_indices]
+        self._size = new_size
+
+    def _apply_merge_rule(self) -> None:
+        """Double ``phi`` (handling the degenerate 0 case) and merge centers."""
+        if self._phi <= 0.0:
+            minimum = self._min_positive_pairwise()
+            if minimum == 0.0:
+                # All centers coincide: collapse them into one.
+                total = float(self._weights[: self._size].sum())
+                self._weights[0] = total
+                self._size = 1 if self._size else 0
+                return
+            self._phi = minimum / 2.0
+        else:
+            self._phi *= 2.0
+        self._merge_centers()
+
+    def _initialize_from_buffer(self) -> None:
+        points = np.vstack(self._buffer)
+        self._dimension = points.shape[1]
+        capacity = max(2 * (self._tau + 2), points.shape[0])
+        self._centers = np.zeros((capacity, self._dimension))
+        self._weights = np.zeros(capacity)
+        self._centers[: points.shape[0]] = points
+        self._weights[: points.shape[0]] = 1.0
+        self._size = points.shape[0]
+        self._buffer = []
+
+        # phi starts at half the minimum pairwise distance; exact duplicates
+        # are merged first so the minimum is taken over distinct points.
+        self._phi = self._min_positive_pairwise() / 2.0
+        if self._phi > 0.0:
+            self._merge_centers()
+        # Re-establish invariant (a) before processing further points.
+        while self._size > self._tau:
+            self._apply_merge_rule()
+
+    # -- public protocol ---------------------------------------------------------------------
+
+    def process(self, point) -> None:
+        """Feed one stream point into the coreset."""
+        point = np.asarray(point, dtype=np.float64).reshape(-1)
+        if point.size == 0 or not np.all(np.isfinite(point)):
+            raise InvalidParameterError("stream points must be finite, non-empty vectors")
+        if self._dimension is not None and point.shape[0] != self._dimension:
+            raise InvalidParameterError(
+                f"stream point has dimension {point.shape[0]}, expected {self._dimension}"
+            )
+        self._n_processed += 1
+
+        if self._centers is None:
+            if self._dimension is None:
+                self._dimension = int(point.shape[0])
+            self._buffer.append(np.array(point))
+            if len(self._buffer) == self._tau + 1:
+                self._initialize_from_buffer()
+            return
+
+        distances = self._metric.point_to_points(point, self._centers[: self._size])
+        closest = int(np.argmin(distances))
+        if distances[closest] <= 8.0 * self._phi:
+            # Update rule: the closest center becomes the point's proxy.
+            self._weights[closest] += 1.0
+            return
+        # New center; re-establish invariant (a) if the budget overflowed.
+        self._append_center(point, 1.0)
+        while self._size > self._tau:
+            self._apply_merge_rule()
+
+    def coreset(self) -> WeightedPoints:
+        """The current weighted coreset as :class:`WeightedPoints`.
+
+        Works both after initialisation (returning the maintained centers)
+        and during the buffering phase (returning the buffered points with
+        unit weights), so short streams are handled gracefully.
+        """
+        if self._n_processed == 0:
+            raise NotFittedError("no points have been processed yet")
+        if self._centers is None:
+            points = np.vstack(self._buffer)
+            return WeightedPoints(points=points, weights=np.ones(points.shape[0]))
+        return WeightedPoints(
+            points=np.array(self._centers[: self._size]),
+            weights=np.array(self._weights[: self._size]),
+        )

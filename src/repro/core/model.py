@@ -1,0 +1,172 @@
+"""A scikit-learn-style estimator facade over the k-center solvers.
+
+The solver classes in :mod:`repro.core` expose the paper's algorithms
+directly (each with its own result dataclass). Downstream users often
+just want the familiar *fit / predict* workflow: fit a clustering on a
+training set, then assign labels (and outlier flags) to new points. This
+module provides that facade:
+
+* :class:`KCenterModel` — wraps any of the solvers (sequential,
+  MapReduce, deterministic or randomized, with or without outliers) and
+  exposes ``fit``, ``predict``, ``transform`` (distances to centers) and
+  ``outlier_mask``.
+
+The wrapper never re-implements algorithmic logic; it simply normalises
+the different result dataclasses into one fitted state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_points
+from ..exceptions import InvalidParameterError, NotFittedError
+from ..metricspace.distance import Metric, get_metric
+from .assignment import assign_to_centers
+from .mr_kcenter import MapReduceKCenter
+from .mr_outliers import MapReduceKCenterOutliers
+from .sequential import SequentialKCenter, SequentialKCenterOutliers
+
+__all__ = ["FittedClustering", "KCenterModel"]
+
+_SOLVER_TYPES = (
+    SequentialKCenter,
+    SequentialKCenterOutliers,
+    MapReduceKCenter,
+    MapReduceKCenterOutliers,
+)
+
+
+@dataclass(frozen=True)
+class FittedClustering:
+    """Normalised fitted state shared by every solver type.
+
+    Attributes
+    ----------
+    centers:
+        ``(k, d)`` coordinates of the fitted centers.
+    radius:
+        The solver's objective value (outlier-aware when applicable).
+    n_outliers:
+        The outlier budget the solver was configured with (0 for plain
+        k-center).
+    training_outlier_indices:
+        Indices of the training points the solution treats as outliers.
+    raw_result:
+        The solver's original result object, for full detail.
+    """
+
+    centers: np.ndarray
+    radius: float
+    n_outliers: int
+    training_outlier_indices: np.ndarray
+    raw_result: object
+
+
+class KCenterModel:
+    """Fit/predict facade over the package's k-center solvers.
+
+    Parameters
+    ----------
+    solver:
+        A configured solver instance: :class:`SequentialKCenter`,
+        :class:`SequentialKCenterOutliers`, :class:`MapReduceKCenter` or
+        :class:`MapReduceKCenterOutliers`.
+    metric:
+        Metric used for prediction-time assignments; defaults to the
+        solver's metric when it has one.
+
+    Examples
+    --------
+    >>> from repro.core import SequentialKCenter
+    >>> import numpy as np
+    >>> points = np.vstack([np.zeros((10, 2)), np.ones((10, 2)) * 10])
+    >>> model = KCenterModel(SequentialKCenter(2)).fit(points)
+    >>> int(model.predict([[0.2, 0.1]])[0]) == int(model.predict([[0.0, 0.0]])[0])
+    True
+    """
+
+    def __init__(self, solver, *, metric: str | Metric | None = None) -> None:
+        if not isinstance(solver, _SOLVER_TYPES):
+            raise InvalidParameterError(
+                "solver must be one of SequentialKCenter, SequentialKCenterOutliers, "
+                "MapReduceKCenter, MapReduceKCenterOutliers"
+            )
+        self.solver = solver
+        if metric is None:
+            metric = getattr(solver, "metric", "euclidean")
+        self.metric = get_metric(metric)
+        self._fitted: FittedClustering | None = None
+
+    # -- fitting ------------------------------------------------------------------------
+
+    def fit(self, points) -> "KCenterModel":
+        """Run the wrapped solver on ``points`` and store the fitted state."""
+        result = self.solver.fit(points)
+        outlier_indices = getattr(result, "outlier_indices", np.empty(0, dtype=np.intp))
+        n_outliers = getattr(self.solver, "z", 0)
+        self._fitted = FittedClustering(
+            centers=np.array(result.centers),
+            radius=float(result.radius),
+            n_outliers=int(n_outliers),
+            training_outlier_indices=np.asarray(outlier_indices, dtype=np.intp),
+            raw_result=result,
+        )
+        return self
+
+    @property
+    def fitted(self) -> FittedClustering:
+        """The fitted state (raises :class:`NotFittedError` before :meth:`fit`)."""
+        if self._fitted is None:
+            raise NotFittedError("call fit() before querying the model")
+        return self._fitted
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Fitted center coordinates."""
+        return self.fitted.centers
+
+    @property
+    def radius(self) -> float:
+        """Objective value achieved on the training set."""
+        return self.fitted.radius
+
+    # -- prediction ---------------------------------------------------------------------
+
+    def transform(self, points) -> np.ndarray:
+        """Distances from each query point to every fitted center."""
+        pts = check_points(points)
+        return self.metric.cdist(pts, self.fitted.centers)
+
+    def predict(self, points) -> np.ndarray:
+        """Index of the closest fitted center for each query point."""
+        return np.argmin(self.transform(points), axis=1).astype(np.intp)
+
+    def predict_distance(self, points) -> np.ndarray:
+        """Distance from each query point to its closest fitted center."""
+        return self.transform(points).min(axis=1)
+
+    def outlier_mask(self, points, *, threshold: float | None = None) -> np.ndarray:
+        """Boolean mask of which query points look like outliers.
+
+        A point is flagged when its distance to the closest center exceeds
+        ``threshold``; by default the threshold is the training radius, so
+        the mask marks points the fitted clustering would *not* have
+        covered (the natural generalisation of the training outliers).
+        """
+        if threshold is None:
+            threshold = self.fitted.radius
+        if threshold < 0:
+            raise InvalidParameterError("threshold must be non-negative")
+        return self.predict_distance(points) > threshold
+
+    def evaluate(self, points) -> dict:
+        """Radius statistics of the fitted centers on an arbitrary point set."""
+        clustering = assign_to_centers(check_points(points), self.fitted.centers, self.metric)
+        return {
+            "radius": clustering.radius,
+            "radius_excluding_outliers": clustering.radius_excluding(self.fitted.n_outliers),
+            "cluster_sizes": clustering.cluster_sizes(),
+        }

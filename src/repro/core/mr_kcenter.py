@@ -1,0 +1,270 @@
+"""2-round MapReduce algorithm for k-center (Section 3.1, Theorem 1).
+
+Round 1 partitions the input into ``ell`` subsets and, in parallel, runs
+the incremental GMM traversal on each subset until the coreset stopping
+rule is met (either the theoretical ``epsilon`` rule or the experimental
+``tau = mu * k`` rule). Round 2 gathers the union of the per-partition
+coresets into one reducer and runs GMM on the union to produce the final
+``k`` centers. The result is a ``(2 + eps)``-approximation with local
+memory ``O(|S|/ell + ell * k * (4/eps)^D)``.
+
+Setting ``coreset_multiplier = 1`` recovers the algorithm of Malkomes et
+al. [26] (the paper's baseline in Figure 2), which is also exposed
+directly as :class:`repro.baselines.malkomes.MalkomesKCenter`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_points, check_positive_int, check_random_state
+from ..exceptions import InvalidParameterError
+from ..mapreduce.partitioner import (
+    split_adversarial,
+    split_contiguous,
+    split_random,
+    split_round_robin,
+)
+from ..mapreduce.runtime import JobStats, MapReduceRuntime
+from ..metricspace.distance import Metric, get_metric
+from .assignment import assign_to_centers
+from .coreset import CoresetResult, CoresetSpec, build_coreset
+from .gmm import gmm_select
+
+__all__ = ["MRKCenterResult", "MapReduceKCenter"]
+
+
+_PARTITIONERS = {
+    "contiguous": split_contiguous,
+    "round_robin": split_round_robin,
+    "random": split_random,
+}
+
+
+@dataclass(frozen=True)
+class MRKCenterResult:
+    """Result of a 2-round MapReduce k-center run.
+
+    Attributes
+    ----------
+    centers:
+        ``(k, d)`` coordinates of the returned centers.
+    center_indices:
+        Indices of the centers in the original dataset.
+    radius:
+        Radius of the dataset with respect to the returned centers.
+    coreset_size:
+        Size of the union of the per-partition coresets handled by the
+        second-round reducer.
+    ell:
+        Number of partitions (degree of parallelism) used.
+    stats:
+        MapReduce accounting (rounds, local / aggregate memory, simulated
+        parallel time).
+    coreset_time:
+        Wall-clock seconds spent building the per-partition coresets
+        (sum over partitions; divide by ``ell`` for the ideal parallel time,
+        or use ``stats`` for the slowest-reducer estimate).
+    solve_time:
+        Wall-clock seconds spent solving on the union of the coresets.
+    """
+
+    centers: np.ndarray
+    center_indices: np.ndarray
+    radius: float
+    coreset_size: int
+    ell: int
+    stats: JobStats
+    coreset_time: float
+    solve_time: float
+
+    @property
+    def k(self) -> int:
+        """Number of returned centers."""
+        return int(self.centers.shape[0])
+
+
+class MapReduceKCenter:
+    """Coreset-based 2-round MapReduce solver for the k-center problem.
+
+    Parameters
+    ----------
+    k:
+        Number of centers.
+    ell:
+        Number of partitions (the paper's degree of parallelism). The
+        theory suggests ``ell = Theta(sqrt(|S| / k))``; any value >= 1 works.
+    epsilon:
+        Precision parameter of the theoretical coreset stopping rule.
+        Mutually exclusive with ``coreset_multiplier``; if neither is
+        given, ``epsilon = 1.0`` is used.
+    coreset_multiplier:
+        The experimental knob ``mu``: each partition contributes a coreset
+        of exactly ``mu * k`` points. ``mu = 1`` is the baseline of [26].
+    partitioning:
+        ``"contiguous"`` (default), ``"round_robin"`` or ``"random"``.
+    metric:
+        Metric name or instance.
+    random_state:
+        Seed for the random partitioning and the arbitrary choice of the
+        first GMM center in each partition.
+    local_memory_limit:
+        Optional per-reducer memory cap (items) enforced by the simulated
+        runtime.
+    max_workers:
+        Threads used by the simulated runtime to execute the per-partition
+        coreset constructions concurrently (1 = sequential). The result is
+        deterministic for any value because per-partition seeds are drawn
+        up front.
+
+    Examples
+    --------
+    >>> from repro.datasets import gaussian_mixture, GaussianMixtureSpec
+    >>> pts = gaussian_mixture(500, GaussianMixtureSpec(5, 2), random_state=0)
+    >>> result = MapReduceKCenter(k=5, ell=4, coreset_multiplier=4,
+    ...                           random_state=0).fit(pts)
+    >>> result.k
+    5
+    """
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        ell: int = 4,
+        epsilon: float | None = None,
+        coreset_multiplier: float | None = None,
+        partitioning: str = "contiguous",
+        metric: str | Metric = "euclidean",
+        random_state=None,
+        local_memory_limit: int | None = None,
+        max_workers: int = 1,
+    ) -> None:
+        self.k = check_positive_int(k, name="k")
+        self.ell = check_positive_int(ell, name="ell")
+        if epsilon is not None and coreset_multiplier is not None:
+            raise InvalidParameterError(
+                "epsilon and coreset_multiplier are mutually exclusive"
+            )
+        if epsilon is None and coreset_multiplier is None:
+            epsilon = 1.0
+        self.epsilon = epsilon
+        self.coreset_multiplier = coreset_multiplier
+        if partitioning not in _PARTITIONERS:
+            raise InvalidParameterError(
+                f"partitioning must be one of {sorted(_PARTITIONERS)}; got {partitioning!r}"
+            )
+        self.partitioning = partitioning
+        self.metric = get_metric(metric)
+        self.random_state = random_state
+        self.local_memory_limit = local_memory_limit
+        self.max_workers = check_positive_int(max_workers, name="max_workers")
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _coreset_spec(self) -> CoresetSpec:
+        if self.coreset_multiplier is not None:
+            return CoresetSpec.from_multiplier(self.k, self.coreset_multiplier)
+        return CoresetSpec.from_epsilon(self.k, self.epsilon)
+
+    def _partition(self, n: int, rng: np.random.Generator) -> list[np.ndarray]:
+        ell = min(self.ell, n)
+        if self.partitioning == "random":
+            parts = split_random(n, ell, random_state=rng)
+            if any(p.size == 0 for p in parts):
+                parts = split_round_robin(n, ell)
+            return parts
+        return _PARTITIONERS[self.partitioning](n, ell)
+
+    # -- main entry point --------------------------------------------------------------
+
+    def fit(self, points) -> MRKCenterResult:
+        """Run the 2-round algorithm on ``points`` and return the solution."""
+        pts = check_points(points)
+        n = pts.shape[0]
+        if self.k > n:
+            raise InvalidParameterError(f"k={self.k} exceeds the dataset size {n}")
+        rng = check_random_state(self.random_state)
+        spec = self._coreset_spec()
+        parts = self._partition(n, rng)
+        runtime = MapReduceRuntime(
+            local_memory_limit=self.local_memory_limit, max_workers=self.max_workers
+        )
+
+        # Per-partition seeds (and the second-round seed) are drawn up front
+        # so that reducers are free of shared mutable state and the result is
+        # identical whether the runtime executes them sequentially or in a
+        # thread pool.
+        partition_seeds = [int(rng.integers(2**31 - 1)) for _ in parts]
+        final_seed = int(rng.integers(2**31 - 1))
+
+        coreset_results: dict[int, CoresetResult] = {}
+        timings = {"coreset": 0.0, "solve": 0.0}
+
+        def first_round_mapper(_key, value):
+            # The mapper only routes point indices to their partition; it is
+            # the constant-space transformation the paper describes.
+            del value
+            for partition_id, indices in enumerate(parts):
+                yield (partition_id, indices)
+
+        def first_round_reducer(partition_id, values):
+            indices = np.concatenate(values)
+            start = time.perf_counter()
+            result = build_coreset(
+                pts[indices],
+                spec,
+                self.metric,
+                weighted=False,
+                first_center=None,
+                random_state=partition_seeds[partition_id],
+            )
+            timings["coreset"] += time.perf_counter() - start
+            coreset_results[partition_id] = result
+            # Re-express coreset point indices in global coordinates.
+            global_indices = indices[result.center_indices]
+            yield (0, global_indices)
+
+        def second_round_mapper(key, value):
+            yield (key, value)
+
+        final: dict[str, np.ndarray] = {}
+
+        def second_round_reducer(_key, values):
+            union_indices = np.concatenate(values)
+            start = time.perf_counter()
+            solution = gmm_select(
+                pts[union_indices],
+                self.k,
+                self.metric,
+                first_center=None,
+                random_state=final_seed,
+            )
+            timings["solve"] += time.perf_counter() - start
+            final["center_indices"] = union_indices[solution.centers]
+            final["coreset_size"] = union_indices.shape[0]
+            yield (0, final["center_indices"])
+
+        runtime.execute_job(
+            [(None, np.arange(n))],
+            [
+                (first_round_mapper, first_round_reducer),
+                (second_round_mapper, second_round_reducer),
+            ],
+        )
+
+        center_indices = final["center_indices"]
+        clustering = assign_to_centers(pts, pts[center_indices], self.metric)
+        return MRKCenterResult(
+            centers=pts[center_indices],
+            center_indices=center_indices,
+            radius=clustering.radius,
+            coreset_size=int(final["coreset_size"]),
+            ell=len(parts),
+            stats=runtime.stats,
+            coreset_time=timings["coreset"],
+            solve_time=timings["solve"],
+        )

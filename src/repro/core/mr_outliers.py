@@ -1,0 +1,342 @@
+"""2-round MapReduce algorithms for k-center with z outliers (Section 3.2).
+
+Two variants are provided through a single driver class:
+
+* the **deterministic** algorithm (Theorem 2): arbitrary equal-size
+  partitioning, per-partition weighted coresets of base size ``k + z``,
+  final solution via OUTLIERSCLUSTER + radius search on the union —
+  a ``(3 + eps)``-approximation with local memory
+  ``O(sqrt(|S| (k+z)) (24/eps)^D)``;
+* the **randomized** algorithm (Section 3.2.1, Corollary 3): uniformly
+  random partitioning and per-partition base size ``k + z'`` with
+  ``z' = 6 (z/ell + log2 |S|)`` — with high probability the same
+  approximation using much smaller coresets when ``z`` is large.
+
+Both variants accept the paper's experimental knob ``coreset_multiplier``
+(``mu``) instead of the theoretical ``epsilon`` stopping rule: the
+deterministic variant then uses coresets of size ``mu * (k + z)`` and the
+randomized one ``mu * (k + 6 z / ell)``, exactly the configurations of
+Figure 4.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import (
+    check_non_negative_int,
+    check_points,
+    check_positive_int,
+    check_random_state,
+)
+from ..exceptions import InvalidParameterError
+from ..mapreduce.partitioner import (
+    split_adversarial,
+    split_contiguous,
+    split_random,
+    split_round_robin,
+)
+from ..mapreduce.runtime import JobStats, MapReduceRuntime
+from ..metricspace.distance import Metric, get_metric
+from ..metricspace.points import WeightedPoints
+from .assignment import assign_to_centers
+from .coreset import CoresetSpec, build_coreset
+from .outliers_cluster import OutliersClusterSolver
+from .radius_search import search_radius
+
+__all__ = ["MROutliersResult", "MapReduceKCenterOutliers"]
+
+
+@dataclass(frozen=True)
+class MROutliersResult:
+    """Result of a 2-round MapReduce k-center-with-outliers run.
+
+    Attributes
+    ----------
+    centers:
+        ``(<=k, d)`` coordinates of the returned centers.
+    center_indices:
+        Indices of the centers in the original dataset (when available).
+    radius:
+        Radius of the dataset w.r.t. the centers **after discarding the
+        z farthest points** (the problem's objective).
+    radius_all_points:
+        Plain radius including the outliers, for reference.
+    outlier_indices:
+        Indices of the ``z`` points the solution leaves farthest away.
+    estimated_radius:
+        The ``r_tilde_min`` found by the radius search on the coreset.
+    coreset_size:
+        Size of the union of the weighted coresets.
+    ell:
+        Number of partitions used.
+    randomized:
+        Whether the randomized variant was used.
+    stats:
+        MapReduce accounting.
+    coreset_time, solve_time:
+        Wall-clock seconds in the two phases (coreset construction summed
+        over partitions; radius search + OUTLIERSCLUSTER for the solve).
+    search_probes:
+        Number of OUTLIERSCLUSTER executions performed by the radius search.
+    """
+
+    centers: np.ndarray
+    center_indices: np.ndarray
+    radius: float
+    radius_all_points: float
+    outlier_indices: np.ndarray
+    estimated_radius: float
+    coreset_size: int
+    ell: int
+    randomized: bool
+    stats: JobStats
+    coreset_time: float
+    solve_time: float
+    search_probes: int
+
+    @property
+    def k(self) -> int:
+        """Number of returned centers."""
+        return int(self.centers.shape[0])
+
+
+class MapReduceKCenterOutliers:
+    """Coreset-based 2-round MapReduce solver for k-center with z outliers.
+
+    Parameters
+    ----------
+    k:
+        Number of centers.
+    z:
+        Number of outliers the objective may discard.
+    ell:
+        Number of partitions (degree of parallelism).
+    epsilon:
+        Precision parameter; drives both the theoretical coreset stopping
+        rule and ``eps_hat = epsilon / 6`` used by OUTLIERSCLUSTER.
+        Mutually exclusive with ``coreset_multiplier``.
+    coreset_multiplier:
+        The experimental knob ``mu``: per-partition coresets of size
+        ``mu * (k + z)`` (deterministic) or ``mu * (k + 6 z / ell)``
+        (randomized). ``mu = 1`` with the deterministic variant is the
+        baseline of [26].
+    randomized:
+        Use the randomized partitioning / reduced coreset variant of
+        Section 3.2.1.
+    eps_hat:
+        Explicit override of the OUTLIERSCLUSTER precision parameter.
+        Defaults to ``epsilon / 6`` when ``epsilon`` is given, else to
+        ``1/6`` (i.e. the value corresponding to ``epsilon = 1``).
+    partitioning:
+        ``"contiguous"``, ``"round_robin"``, ``"random"`` or
+        ``"adversarial"``. The adversarial option requires
+        ``adversarial_indices`` (typically the planted outliers) and
+        reproduces the stress setup of Figure 4. The randomized variant
+        always uses random partitioning regardless of this setting.
+    adversarial_indices:
+        Indices forced into a single partition under adversarial
+        partitioning.
+    include_log_term:
+        Whether ``z'`` includes the ``log2 |S|`` term of Lemma 7 (the
+        paper's experiments drop it; theory keeps it). Only relevant for
+        the randomized variant.
+    metric, random_state, local_memory_limit, max_workers:
+        As in :class:`~repro.core.mr_kcenter.MapReduceKCenter`.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        z: int,
+        *,
+        ell: int = 4,
+        epsilon: float | None = None,
+        coreset_multiplier: float | None = None,
+        randomized: bool = False,
+        eps_hat: float | None = None,
+        partitioning: str = "contiguous",
+        adversarial_indices=None,
+        include_log_term: bool = True,
+        metric: str | Metric = "euclidean",
+        random_state=None,
+        local_memory_limit: int | None = None,
+        max_workers: int = 1,
+    ) -> None:
+        self.k = check_positive_int(k, name="k")
+        self.z = check_non_negative_int(z, name="z")
+        self.ell = check_positive_int(ell, name="ell")
+        if epsilon is not None and coreset_multiplier is not None:
+            raise InvalidParameterError(
+                "epsilon and coreset_multiplier are mutually exclusive"
+            )
+        if epsilon is None and coreset_multiplier is None:
+            epsilon = 1.0
+        self.epsilon = epsilon
+        self.coreset_multiplier = coreset_multiplier
+        self.randomized = bool(randomized)
+        if eps_hat is None:
+            eps_hat = (epsilon / 6.0) if epsilon is not None else 1.0 / 6.0
+        if eps_hat < 0:
+            raise InvalidParameterError("eps_hat must be non-negative")
+        self.eps_hat = float(eps_hat)
+        valid_partitionings = {"contiguous", "round_robin", "random", "adversarial"}
+        if partitioning not in valid_partitionings:
+            raise InvalidParameterError(
+                f"partitioning must be one of {sorted(valid_partitionings)}; got {partitioning!r}"
+            )
+        if partitioning == "adversarial" and adversarial_indices is None:
+            raise InvalidParameterError(
+                "adversarial partitioning requires adversarial_indices"
+            )
+        self.partitioning = partitioning
+        self.adversarial_indices = (
+            None
+            if adversarial_indices is None
+            else np.asarray(adversarial_indices, dtype=np.intp)
+        )
+        self.include_log_term = bool(include_log_term)
+        self.metric = get_metric(metric)
+        self.random_state = random_state
+        self.local_memory_limit = local_memory_limit
+        self.max_workers = check_positive_int(max_workers, name="max_workers")
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _z_prime(self, n: int, ell: int) -> int:
+        """The randomized variant's per-partition outlier bound ``z'`` (Lemma 7)."""
+        log_term = math.log2(max(n, 2)) if self.include_log_term else 0.0
+        return max(1, int(math.ceil(6.0 * (self.z / ell + log_term))))
+
+    def _base_size(self, n: int, ell: int) -> int:
+        if self.randomized:
+            return self.k + self._z_prime(n, ell)
+        return self.k + self.z
+
+    def _coreset_spec(self, n: int, ell: int) -> CoresetSpec:
+        base = self._base_size(n, ell)
+        if self.coreset_multiplier is not None:
+            return CoresetSpec.from_multiplier(base, self.coreset_multiplier)
+        return CoresetSpec.from_epsilon(base, self.epsilon)
+
+    def _partition(self, n: int, ell: int, rng: np.random.Generator) -> list[np.ndarray]:
+        if self.randomized or self.partitioning == "random":
+            parts = split_random(n, ell, random_state=rng)
+            if any(p.size == 0 for p in parts):
+                parts = split_round_robin(n, ell)
+            return parts
+        if self.partitioning == "adversarial":
+            return split_adversarial(
+                n, ell, self.adversarial_indices, random_state=rng
+            )
+        if self.partitioning == "round_robin":
+            return split_round_robin(n, ell)
+        return split_contiguous(n, ell)
+
+    # -- main entry point --------------------------------------------------------------
+
+    def fit(self, points) -> MROutliersResult:
+        """Run the 2-round algorithm on ``points`` and return the solution."""
+        pts = check_points(points)
+        n = pts.shape[0]
+        if self.k > n:
+            raise InvalidParameterError(f"k={self.k} exceeds the dataset size {n}")
+        if self.z >= n:
+            raise InvalidParameterError(f"z={self.z} must be smaller than the dataset size {n}")
+        rng = check_random_state(self.random_state)
+        ell = min(self.ell, n)
+        spec = self._coreset_spec(n, ell)
+        parts = self._partition(n, ell, rng)
+        runtime = MapReduceRuntime(
+            local_memory_limit=self.local_memory_limit, max_workers=self.max_workers
+        )
+
+        # Per-partition seeds are drawn up front so reducers carry no shared
+        # random state; results are identical under sequential and
+        # thread-parallel execution of the runtime.
+        partition_seeds = {
+            partition_id: int(rng.integers(2**31 - 1)) for partition_id in range(len(parts))
+        }
+
+        timings = {"coreset": 0.0, "solve": 0.0}
+        final: dict[str, object] = {}
+
+        def first_round_mapper(_key, value):
+            del value
+            for partition_id, indices in enumerate(parts):
+                if indices.size:
+                    yield (partition_id, indices)
+
+        def first_round_reducer(partition_id, values):
+            indices = np.concatenate(values)
+            start = time.perf_counter()
+            result = build_coreset(
+                pts[indices],
+                spec,
+                self.metric,
+                weighted=True,
+                origin_offset=0,
+                first_center=None,
+                random_state=partition_seeds[partition_id],
+            )
+            timings["coreset"] += time.perf_counter() - start
+            coreset = WeightedPoints(
+                points=result.coreset.points,
+                weights=result.coreset.weights,
+                origin_indices=indices[result.center_indices],
+            )
+            yield (0, coreset)
+
+        def second_round_mapper(key, value):
+            yield (key, value)
+
+        def second_round_reducer(_key, values):
+            union = WeightedPoints.concatenate(values)
+            start = time.perf_counter()
+            solver = OutliersClusterSolver(
+                union, self.k, eps_hat=self.eps_hat, metric=self.metric
+            )
+            search = search_radius(solver, self.z)
+            timings["solve"] += time.perf_counter() - start
+            final["union"] = union
+            final["search"] = search
+            yield (0, search.solution.center_indices)
+
+        runtime.execute_job(
+            [(None, np.arange(n))],
+            [
+                (first_round_mapper, first_round_reducer),
+                (second_round_mapper, second_round_reducer),
+            ],
+        )
+
+        union: WeightedPoints = final["union"]  # type: ignore[assignment]
+        search = final["search"]
+        coreset_center_positions = search.solution.center_indices
+        centers = union.points[coreset_center_positions]
+        center_indices = (
+            union.origin_indices[coreset_center_positions]
+            if union.origin_indices is not None
+            else np.full(coreset_center_positions.shape[0], -1, dtype=np.intp)
+        )
+
+        clustering = assign_to_centers(pts, centers, self.metric)
+        return MROutliersResult(
+            centers=centers,
+            center_indices=center_indices,
+            radius=clustering.radius_excluding(self.z),
+            radius_all_points=clustering.radius,
+            outlier_indices=clustering.outlier_indices(self.z),
+            estimated_radius=search.radius,
+            coreset_size=len(union),
+            ell=ell,
+            randomized=self.randomized,
+            stats=runtime.stats,
+            coreset_time=timings["coreset"],
+            solve_time=timings["solve"],
+            search_probes=search.probes,
+        )

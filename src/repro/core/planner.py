@@ -1,0 +1,231 @@
+"""Resource planning from the paper's theoretical bounds.
+
+The paper's theorems tie the knobs of the algorithms (parallelism ``ell``,
+coreset precision ``eps``, streaming coreset size ``tau``) to the memory
+they need, as a function of the dataset size ``n``, the number of centers
+``k``, the outlier budget ``z`` and the doubling dimension ``D``:
+
+* Corollary 1:  MapReduce k-center, ``M_L = O(sqrt(n k) (4/eps)^D)`` at
+  ``ell = Theta(sqrt(n / k))``;
+* Corollary 2:  deterministic MapReduce with outliers,
+  ``M_L = O(sqrt(n (k+z)) (24/eps)^D)`` at ``ell = Theta(sqrt(n/(k+z)))``;
+* Corollary 3:  randomized MapReduce with outliers,
+  ``M_L = O((sqrt(n (k + log n)) + z)(24/eps)^D)`` at
+  ``ell = Theta(sqrt(n / (k + log n)))``;
+* Theorem 3:    1-pass streaming with outliers, working memory
+  ``(k + z)(96/eps)^D``.
+
+:func:`plan_mapreduce` and :func:`plan_streaming` evaluate those formulas
+(optionally estimating ``D`` from a sample) so a user can pick ``ell``
+and coreset sizes before launching a large job, and can sanity-check that
+a configuration fits the memory of their workers. The constants in the
+bounds are worst-case; the planner reports them as-is and also the
+constant-free "practical" sizes used by the paper's experiments
+(``mu * k`` and ``mu * (k + z)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import (
+    check_epsilon,
+    check_non_negative_int,
+    check_points,
+    check_positive_int,
+)
+from ..metricspace.doubling import doubling_dimension_estimate
+
+__all__ = ["MapReducePlan", "StreamingPlan", "plan_mapreduce", "plan_streaming"]
+
+
+@dataclass(frozen=True)
+class MapReducePlan:
+    """Suggested MapReduce configuration and its predicted memory footprint.
+
+    Attributes
+    ----------
+    ell:
+        Suggested number of partitions.
+    per_partition_points:
+        Points each round-1 reducer will hold (``ceil(n / ell)``).
+    coreset_size_theoretical:
+        Worst-case per-partition coreset size from the doubling-dimension
+        bound (``base * (c/eps)^D``).
+    coreset_size_practical:
+        The experiment-style per-partition coreset size ``mu * base`` for
+        the suggested ``mu`` (the planner picks the smallest ``mu`` whose
+        quality matched the paper's experiments, i.e. 4).
+    union_coreset_size:
+        Size of the second-round reducer input under the practical sizing.
+    local_memory:
+        Predicted peak local memory ``M_L`` (points) under the practical
+        sizing: the max of the two rounds.
+    doubling_dimension:
+        The ``D`` used in the theoretical bound.
+    variant:
+        ``"kcenter"``, ``"outliers"`` or ``"outliers-randomized"``.
+    """
+
+    ell: int
+    per_partition_points: int
+    coreset_size_theoretical: int
+    coreset_size_practical: int
+    union_coreset_size: int
+    local_memory: int
+    doubling_dimension: float
+    variant: str
+
+
+@dataclass(frozen=True)
+class StreamingPlan:
+    """Suggested streaming coreset size and predicted working memory.
+
+    Attributes
+    ----------
+    coreset_size_theoretical:
+        ``(k + z) * (96 / eps)^D`` (Theorem 3).
+    coreset_size_practical:
+        The experiment-style ``mu * (k + z)`` size (``mu = 8`` by default
+        in the paper's plots).
+    working_memory:
+        Predicted peak working memory in points under the practical
+        sizing (coreset plus one buffered point).
+    doubling_dimension:
+        The ``D`` used in the theoretical bound.
+    """
+
+    coreset_size_theoretical: int
+    coreset_size_practical: int
+    working_memory: int
+    doubling_dimension: float
+
+
+def _resolve_dimension(
+    doubling_dimension: float | None, sample, random_state
+) -> float:
+    if doubling_dimension is not None:
+        if doubling_dimension < 0:
+            raise ValueError("doubling_dimension must be non-negative")
+        return float(doubling_dimension)
+    if sample is None:
+        # A conservative default for low-dimensional numeric data.
+        return 2.0
+    points = check_points(sample, name="sample")
+    return doubling_dimension_estimate(points, random_state=random_state)
+
+
+def plan_mapreduce(
+    n: int,
+    k: int,
+    *,
+    z: int = 0,
+    epsilon: float = 1.0,
+    randomized: bool = False,
+    practical_multiplier: float = 4.0,
+    doubling_dimension: float | None = None,
+    sample=None,
+    random_state=None,
+) -> MapReducePlan:
+    """Suggest ``ell`` and coreset sizes for the MapReduce algorithms.
+
+    Parameters
+    ----------
+    n, k, z:
+        Dataset size, number of centers, outlier budget (``z = 0`` plans
+        the plain k-center algorithm).
+    epsilon:
+        Target precision parameter.
+    randomized:
+        Plan the randomized variant of the outlier algorithm
+        (Corollary 3) instead of the deterministic one (Corollary 2).
+    practical_multiplier:
+        The ``mu`` used for the experiment-style sizing.
+    doubling_dimension:
+        Known doubling dimension ``D``; when ``None`` it is estimated from
+        ``sample`` (or defaults to 2 when no sample is given).
+    sample:
+        Optional point sample used to estimate ``D``.
+    random_state:
+        Seed for the estimation.
+    """
+    n = check_positive_int(n, name="n")
+    k = check_positive_int(k, name="k")
+    z = check_non_negative_int(z, name="z")
+    epsilon = check_epsilon(epsilon)
+    if practical_multiplier < 1:
+        raise ValueError("practical_multiplier must be >= 1")
+    dimension = _resolve_dimension(doubling_dimension, sample, random_state)
+
+    if z == 0:
+        variant = "kcenter"
+        base = k
+        constant = 4.0
+        ell = max(1, int(round(math.sqrt(n / k))))
+    elif not randomized:
+        variant = "outliers"
+        base = k + z
+        constant = 24.0
+        ell = max(1, int(round(math.sqrt(n / (k + z)))))
+    else:
+        variant = "outliers-randomized"
+        log_term = math.log2(max(n, 2))
+        ell = max(1, int(round(math.sqrt(n / (k + log_term)))))
+        z_prime = int(math.ceil(6.0 * (z / ell + log_term)))
+        base = k + z_prime
+        constant = 24.0
+
+    ell = min(ell, n)
+    per_partition = int(math.ceil(n / ell))
+    blowup = (constant / epsilon) ** dimension
+    theoretical = int(math.ceil(base * blowup))
+    practical = min(int(round(practical_multiplier * base)), per_partition)
+    union = practical * ell
+    local_memory = max(per_partition, union)
+
+    return MapReducePlan(
+        ell=ell,
+        per_partition_points=per_partition,
+        coreset_size_theoretical=theoretical,
+        coreset_size_practical=practical,
+        union_coreset_size=union,
+        local_memory=local_memory,
+        doubling_dimension=dimension,
+        variant=variant,
+    )
+
+
+def plan_streaming(
+    k: int,
+    z: int,
+    *,
+    epsilon: float = 1.0,
+    practical_multiplier: float = 8.0,
+    doubling_dimension: float | None = None,
+    sample=None,
+    random_state=None,
+) -> StreamingPlan:
+    """Suggest the streaming coreset size ``tau`` for k-center with outliers.
+
+    Parameters mirror :func:`plan_mapreduce`; the theoretical size is the
+    Theorem 3 bound ``(k + z)(96/eps)^D`` and the practical size is the
+    paper's experimental knob ``mu (k + z)``.
+    """
+    k = check_positive_int(k, name="k")
+    z = check_non_negative_int(z, name="z")
+    epsilon = check_epsilon(epsilon)
+    if practical_multiplier < 1:
+        raise ValueError("practical_multiplier must be >= 1")
+    dimension = _resolve_dimension(doubling_dimension, sample, random_state)
+
+    theoretical = int(math.ceil((k + z) * (96.0 / epsilon) ** dimension))
+    practical = int(round(practical_multiplier * (k + z)))
+    return StreamingPlan(
+        coreset_size_theoretical=theoretical,
+        coreset_size_practical=practical,
+        working_memory=practical + 1,
+        doubling_dimension=dimension,
+    )

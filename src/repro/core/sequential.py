@@ -1,0 +1,214 @@
+"""Sequential solvers.
+
+* :class:`SequentialKCenter` — Gonzalez's GMM 2-approximation, provided
+  both as a baseline and as the building block of everything else.
+* :class:`SequentialKCenterOutliers` — the paper's "improved sequential
+  algorithm" for k-center with z outliers (end of Section 3.2): run the
+  MapReduce strategy with ``ell = 1``, i.e. build a single weighted
+  coreset with GMM and then run OUTLIERSCLUSTER + radius search on it.
+  Its running time is ``O(|S| |T| + k |T|^2 log |T|)`` with
+  ``|T| = (k+z)(24/eps)^D``, a large improvement over the
+  ``O(k |S|^2 log |S|)`` of Charikar et al. [16] at the cost of an extra
+  additive ``eps`` in the approximation factor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import (
+    check_non_negative_int,
+    check_points,
+    check_positive_int,
+)
+from ..exceptions import InvalidParameterError
+from ..metricspace.distance import Metric, get_metric
+from .assignment import assign_to_centers
+from .coreset import CoresetSpec, build_coreset
+from .gmm import gmm_select
+from .outliers_cluster import OutliersClusterSolver
+from .radius_search import search_radius
+
+__all__ = [
+    "SequentialResult",
+    "SequentialKCenter",
+    "SequentialKCenterOutliers",
+]
+
+
+@dataclass(frozen=True)
+class SequentialResult:
+    """Result of a sequential solver run.
+
+    Attributes
+    ----------
+    centers:
+        ``(<=k, d)`` coordinates of the centers.
+    center_indices:
+        Indices of the centers in the input dataset.
+    radius:
+        Objective value: the plain radius for k-center, the radius after
+        discarding ``z`` points for the outlier formulation.
+    radius_all_points:
+        Plain radius including any outliers, for reference.
+    outlier_indices:
+        Indices of the discarded points (empty for plain k-center).
+    coreset_size:
+        Size of the intermediate coreset (equals ``k`` for plain GMM).
+    elapsed_time:
+        Wall-clock seconds of the whole run.
+    """
+
+    centers: np.ndarray
+    center_indices: np.ndarray
+    radius: float
+    radius_all_points: float
+    outlier_indices: np.ndarray
+    coreset_size: int
+    elapsed_time: float
+
+    @property
+    def k(self) -> int:
+        """Number of returned centers."""
+        return int(self.centers.shape[0])
+
+
+class SequentialKCenter:
+    """Gonzalez's GMM: the classical sequential 2-approximation for k-center.
+
+    Parameters
+    ----------
+    k:
+        Number of centers.
+    metric:
+        Metric name or instance.
+    random_state:
+        Seed controlling the arbitrary choice of the first center; ``None``
+        always starts from index 0 (deterministic).
+    """
+
+    def __init__(self, k: int, *, metric: str | Metric = "euclidean", random_state=None) -> None:
+        self.k = check_positive_int(k, name="k")
+        self.metric = get_metric(metric)
+        self.random_state = random_state
+
+    def fit(self, points) -> SequentialResult:
+        """Select ``k`` centers with GMM and evaluate the solution."""
+        pts = check_points(points)
+        if self.k > pts.shape[0]:
+            raise InvalidParameterError(
+                f"k={self.k} exceeds the dataset size {pts.shape[0]}"
+            )
+        start = time.perf_counter()
+        result = gmm_select(pts, self.k, self.metric, random_state=self.random_state)
+        elapsed = time.perf_counter() - start
+        return SequentialResult(
+            centers=pts[result.centers],
+            center_indices=result.centers,
+            radius=result.radius,
+            radius_all_points=result.radius,
+            outlier_indices=np.empty(0, dtype=np.intp),
+            coreset_size=result.n_centers,
+            elapsed_time=elapsed,
+        )
+
+
+class SequentialKCenterOutliers:
+    """The paper's fast sequential (3+eps)-approximation for k-center with outliers.
+
+    Equivalent to the deterministic MapReduce algorithm with ``ell = 1``:
+    a single weighted coreset is built with GMM (base size ``k + z``, then
+    either the ``epsilon`` stopping rule or a coreset of ``mu * (k + z)``
+    points), and OUTLIERSCLUSTER with the radius search produces the final
+    centers from the coreset alone.
+
+    Parameters
+    ----------
+    k, z:
+        Number of centers and outlier budget.
+    epsilon:
+        Precision parameter (theoretical stopping rule and
+        ``eps_hat = epsilon / 6``). Mutually exclusive with
+        ``coreset_multiplier``.
+    coreset_multiplier:
+        The ``mu`` knob of the experiments: coreset of exactly
+        ``mu * (k + z)`` points. ``mu = 1`` reproduces Malkomes et al.
+    eps_hat:
+        Optional override of the OUTLIERSCLUSTER precision parameter.
+    metric, random_state:
+        As usual.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        z: int,
+        *,
+        epsilon: float | None = None,
+        coreset_multiplier: float | None = None,
+        eps_hat: float | None = None,
+        metric: str | Metric = "euclidean",
+        random_state=None,
+    ) -> None:
+        self.k = check_positive_int(k, name="k")
+        self.z = check_non_negative_int(z, name="z")
+        if epsilon is not None and coreset_multiplier is not None:
+            raise InvalidParameterError(
+                "epsilon and coreset_multiplier are mutually exclusive"
+            )
+        if epsilon is None and coreset_multiplier is None:
+            epsilon = 1.0
+        self.epsilon = epsilon
+        self.coreset_multiplier = coreset_multiplier
+        if eps_hat is None:
+            eps_hat = (epsilon / 6.0) if epsilon is not None else 1.0 / 6.0
+        self.eps_hat = float(eps_hat)
+        self.metric = get_metric(metric)
+        self.random_state = random_state
+
+    def _coreset_spec(self) -> CoresetSpec:
+        base = self.k + self.z
+        if self.coreset_multiplier is not None:
+            return CoresetSpec.from_multiplier(base, self.coreset_multiplier)
+        return CoresetSpec.from_epsilon(base, self.epsilon)
+
+    def fit(self, points) -> SequentialResult:
+        """Run the coreset + OUTLIERSCLUSTER pipeline on ``points``."""
+        pts = check_points(points)
+        n = pts.shape[0]
+        if self.k > n:
+            raise InvalidParameterError(f"k={self.k} exceeds the dataset size {n}")
+        if self.z >= n:
+            raise InvalidParameterError(f"z={self.z} must be smaller than the dataset size {n}")
+
+        start = time.perf_counter()
+        coreset_result = build_coreset(
+            pts,
+            self._coreset_spec(),
+            self.metric,
+            weighted=True,
+            random_state=self.random_state,
+        )
+        solver = OutliersClusterSolver(
+            coreset_result.coreset, self.k, eps_hat=self.eps_hat, metric=self.metric
+        )
+        search = search_radius(solver, self.z)
+        elapsed = time.perf_counter() - start
+
+        coreset = coreset_result.coreset
+        positions = search.solution.center_indices
+        centers = coreset.points[positions]
+        center_indices = coreset.origin_indices[positions]
+        clustering = assign_to_centers(pts, centers, self.metric)
+        return SequentialResult(
+            centers=centers,
+            center_indices=center_indices,
+            radius=clustering.radius_excluding(self.z),
+            radius_all_points=clustering.radius,
+            outlier_indices=clustering.outlier_indices(self.z),
+            coreset_size=len(coreset),
+            elapsed_time=elapsed,
+        )

@@ -1,0 +1,36 @@
+"""Dataset substrate: synthetic generators, paper-dataset stand-ins, outlier injection, inflation."""
+
+from .files import load_higgs_csv, load_numeric_csv, load_power_csv
+from .inflation import coordinate_noise_scale, inflate, inflate_streaming
+from .loaders import PAPER_DATASETS, higgs_like, load_paper_dataset, power_like, wiki_like
+from .outliers import OutlierInjection, inject_outliers
+from .synthetic import (
+    GaussianMixtureSpec,
+    annulus,
+    clustered_with_noise,
+    gaussian_mixture,
+    points_on_manifold,
+    uniform_hypercube,
+)
+
+__all__ = [
+    "GaussianMixtureSpec",
+    "OutlierInjection",
+    "PAPER_DATASETS",
+    "annulus",
+    "clustered_with_noise",
+    "coordinate_noise_scale",
+    "gaussian_mixture",
+    "higgs_like",
+    "inflate",
+    "inflate_streaming",
+    "inject_outliers",
+    "load_higgs_csv",
+    "load_numeric_csv",
+    "load_paper_dataset",
+    "load_power_csv",
+    "points_on_manifold",
+    "power_like",
+    "uniform_hypercube",
+    "wiki_like",
+]

@@ -1,0 +1,177 @@
+"""Outlier injection following the paper's procedure (Section 5.2).
+
+The paper plants ``z`` artificial outliers by (1) computing the radius
+``r_MEB`` and center ``c_MEB`` of the dataset's minimum enclosing ball and
+(2) adding ``z`` points at distance ``100 * r_MEB`` from ``c_MEB`` in
+random directions, verifying that every planted point is far (>= 99 r_MEB)
+from the data and that planted points are mutually far apart
+(>= 10 r_MEB). We reproduce that construction and return both the
+augmented dataset and the indices of the planted outliers so experiments
+can verify recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import (
+    check_non_negative_int,
+    check_points,
+    check_random_state,
+)
+from ..exceptions import InvalidParameterError
+from ..metricspace.meb import minimum_enclosing_ball
+
+__all__ = ["OutlierInjection", "inject_outliers"]
+
+
+@dataclass(frozen=True)
+class OutlierInjection:
+    """Result of :func:`inject_outliers`.
+
+    Attributes
+    ----------
+    points:
+        The augmented ``(n + z, d)`` point matrix (outliers appended, then
+        optionally shuffled).
+    outlier_indices:
+        Indices (into ``points``) of the planted outliers.
+    meb_center, meb_radius:
+        The enclosing ball used for planting, for reference.
+    """
+
+    points: np.ndarray
+    outlier_indices: np.ndarray
+    meb_center: np.ndarray
+    meb_radius: float
+
+    @property
+    def n_outliers(self) -> int:
+        """Number of planted outliers."""
+        return int(self.outlier_indices.shape[0])
+
+    def outlier_mask(self) -> np.ndarray:
+        """Boolean mask over ``points`` that is true exactly on planted outliers."""
+        mask = np.zeros(self.points.shape[0], dtype=bool)
+        mask[self.outlier_indices] = True
+        return mask
+
+
+def _random_directions(n: int, dimension: int, rng: np.random.Generator) -> np.ndarray:
+    """``n`` unit vectors drawn uniformly from the ``dimension``-sphere."""
+    vectors = rng.normal(size=(n, dimension))
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    # Degenerate all-zero draws are astronomically unlikely; resample defensively.
+    while np.any(norms == 0.0):  # pragma: no cover - probability ~0
+        bad = norms[:, 0] == 0.0
+        vectors[bad] = rng.normal(size=(int(bad.sum()), dimension))
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    return vectors / norms
+
+
+def inject_outliers(
+    points,
+    n_outliers: int,
+    *,
+    distance_factor: float = 100.0,
+    min_separation_factor: float = 10.0,
+    shuffle: bool = True,
+    max_attempts: int = 200,
+    random_state=None,
+) -> OutlierInjection:
+    """Plant ``n_outliers`` far-away points, mimicking the paper's setup.
+
+    Parameters
+    ----------
+    points:
+        Original dataset, shape ``(n, d)``.
+    n_outliers:
+        Number of outliers ``z`` to add.
+    distance_factor:
+        Planted points are placed at ``distance_factor * r_MEB`` from the
+        MEB center (the paper uses 100).
+    min_separation_factor:
+        Minimum pairwise distance between planted points, as a multiple of
+        ``r_MEB`` (the paper verifies 10). Rejection sampling enforces it.
+    shuffle:
+        Shuffle the augmented dataset so outliers are not trivially at the
+        tail (the paper shuffles before streaming).
+    max_attempts:
+        Maximum rejection-sampling rounds before giving up.
+    random_state:
+        Seed or generator.
+
+    Returns
+    -------
+    OutlierInjection
+        Augmented points plus bookkeeping.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the separation constraint cannot be met (e.g. asking for far
+        more outliers than a sphere of the given radius can host) within
+        ``max_attempts`` rounds.
+    """
+    original = check_points(points)
+    n_outliers = check_non_negative_int(n_outliers, name="n_outliers")
+    if distance_factor <= 1.0:
+        raise InvalidParameterError("distance_factor must exceed 1")
+    if min_separation_factor < 0.0:
+        raise InvalidParameterError("min_separation_factor must be non-negative")
+    rng = check_random_state(random_state)
+
+    if n_outliers == 0:
+        return OutlierInjection(
+            points=np.array(original),
+            outlier_indices=np.empty(0, dtype=np.intp),
+            meb_center=original.mean(axis=0),
+            meb_radius=0.0,
+        )
+
+    ball = minimum_enclosing_ball(original)
+    radius = ball.radius if ball.radius > 0 else 1.0
+    target_distance = distance_factor * radius
+    min_separation = min_separation_factor * radius
+
+    dimension = original.shape[1]
+    accepted: list[np.ndarray] = []
+    for _ in range(max_attempts):
+        needed = n_outliers - len(accepted)
+        if needed == 0:
+            break
+        candidates = ball.center + target_distance * _random_directions(needed, dimension, rng)
+        for candidate in candidates:
+            if accepted:
+                existing = np.vstack(accepted)
+                separation = np.linalg.norm(existing - candidate, axis=1).min()
+                if separation < min_separation:
+                    continue
+            accepted.append(candidate)
+            if len(accepted) == n_outliers:
+                break
+    if len(accepted) < n_outliers:
+        raise InvalidParameterError(
+            "could not place the requested number of mutually separated outliers; "
+            "reduce n_outliers or min_separation_factor"
+        )
+
+    outliers = np.vstack(accepted)
+    augmented = np.vstack([original, outliers])
+    outlier_indices = np.arange(original.shape[0], augmented.shape[0], dtype=np.intp)
+
+    if shuffle:
+        permutation = rng.permutation(augmented.shape[0])
+        augmented = augmented[permutation]
+        inverse = np.empty_like(permutation)
+        inverse[permutation] = np.arange(permutation.shape[0])
+        outlier_indices = np.sort(inverse[outlier_indices])
+
+    return OutlierInjection(
+        points=augmented,
+        outlier_indices=outlier_indices,
+        meb_center=ball.center,
+        meb_radius=radius,
+    )

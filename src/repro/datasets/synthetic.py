@@ -1,0 +1,232 @@
+"""Synthetic dataset generators.
+
+All generators return plain ``(n, d)`` NumPy arrays so they can be fed
+either to :class:`repro.metricspace.Dataset` or directly to the streaming
+sources. Every generator accepts a ``random_state`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import (
+    check_non_negative_int,
+    check_positive_int,
+    check_random_state,
+)
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "GaussianMixtureSpec",
+    "gaussian_mixture",
+    "uniform_hypercube",
+    "clustered_with_noise",
+    "points_on_manifold",
+    "annulus",
+]
+
+
+@dataclass(frozen=True)
+class GaussianMixtureSpec:
+    """Specification of an isotropic Gaussian mixture.
+
+    Attributes
+    ----------
+    n_clusters:
+        Number of mixture components.
+    dimension:
+        Ambient dimensionality of the generated points.
+    cluster_std:
+        Standard deviation of each component.
+    box_size:
+        Component means are drawn uniformly from ``[0, box_size]^d``.
+    weights:
+        Optional mixing proportions (defaults to uniform).
+    """
+
+    n_clusters: int
+    dimension: int
+    cluster_std: float = 1.0
+    box_size: float = 100.0
+    weights: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_clusters, name="n_clusters")
+        check_positive_int(self.dimension, name="dimension")
+        if self.cluster_std <= 0:
+            raise InvalidParameterError("cluster_std must be positive")
+        if self.box_size <= 0:
+            raise InvalidParameterError("box_size must be positive")
+        if self.weights is not None:
+            weights = np.asarray(self.weights, dtype=np.float64)
+            if weights.shape != (self.n_clusters,) or np.any(weights <= 0):
+                raise InvalidParameterError(
+                    "weights must be positive and have one entry per cluster"
+                )
+            object.__setattr__(self, "weights", tuple(weights / weights.sum()))
+
+
+def gaussian_mixture(
+    n_points: int,
+    spec: GaussianMixtureSpec,
+    *,
+    random_state=None,
+    return_labels: bool = False,
+):
+    """Sample ``n_points`` from the Gaussian mixture described by ``spec``.
+
+    Parameters
+    ----------
+    n_points:
+        Number of points to generate.
+    spec:
+        Mixture specification.
+    random_state:
+        Seed or generator.
+    return_labels:
+        When true, also return the array of component labels.
+
+    Returns
+    -------
+    numpy.ndarray or (numpy.ndarray, numpy.ndarray)
+        The points, and optionally the per-point component labels.
+    """
+    n_points = check_positive_int(n_points, name="n_points")
+    rng = check_random_state(random_state)
+
+    centers = rng.uniform(0.0, spec.box_size, size=(spec.n_clusters, spec.dimension))
+    probabilities = (
+        np.full(spec.n_clusters, 1.0 / spec.n_clusters)
+        if spec.weights is None
+        else np.asarray(spec.weights)
+    )
+    labels = rng.choice(spec.n_clusters, size=n_points, p=probabilities)
+    noise = rng.normal(0.0, spec.cluster_std, size=(n_points, spec.dimension))
+    points = centers[labels] + noise
+    if return_labels:
+        return points, labels
+    return points
+
+
+def uniform_hypercube(
+    n_points: int,
+    dimension: int,
+    *,
+    side: float = 1.0,
+    random_state=None,
+) -> np.ndarray:
+    """Points drawn uniformly at random from ``[0, side]^dimension``."""
+    n_points = check_positive_int(n_points, name="n_points")
+    dimension = check_positive_int(dimension, name="dimension")
+    if side <= 0:
+        raise InvalidParameterError("side must be positive")
+    rng = check_random_state(random_state)
+    return rng.uniform(0.0, side, size=(n_points, dimension))
+
+
+def clustered_with_noise(
+    n_points: int,
+    n_clusters: int,
+    dimension: int,
+    *,
+    noise_fraction: float = 0.05,
+    cluster_std: float = 1.0,
+    box_size: float = 100.0,
+    random_state=None,
+) -> np.ndarray:
+    """A Gaussian mixture with a fraction of uniform background noise.
+
+    This mimics the "clustered structure plus scattered noise" regime that
+    motivates the outlier formulation: most points lie in ``n_clusters``
+    tight clusters, while a ``noise_fraction`` of them are spread uniformly
+    over the bounding box and act as natural outliers.
+    """
+    n_points = check_positive_int(n_points, name="n_points")
+    if not 0.0 <= noise_fraction < 1.0:
+        raise InvalidParameterError("noise_fraction must lie in [0, 1)")
+    rng = check_random_state(random_state)
+    n_noise = int(round(n_points * noise_fraction))
+    n_clustered = n_points - n_noise
+    spec = GaussianMixtureSpec(
+        n_clusters=n_clusters,
+        dimension=dimension,
+        cluster_std=cluster_std,
+        box_size=box_size,
+    )
+    parts = []
+    if n_clustered > 0:
+        parts.append(gaussian_mixture(n_clustered, spec, random_state=rng))
+    if n_noise > 0:
+        parts.append(rng.uniform(-box_size * 0.5, box_size * 1.5, size=(n_noise, dimension)))
+    points = np.vstack(parts)
+    rng.shuffle(points)
+    return points
+
+
+def points_on_manifold(
+    n_points: int,
+    intrinsic_dimension: int,
+    ambient_dimension: int,
+    *,
+    noise_std: float = 0.01,
+    random_state=None,
+) -> np.ndarray:
+    """Points near a random linear manifold of low intrinsic dimension.
+
+    Useful for exercising the doubling-dimension-sensitive behaviour of the
+    algorithms: the ambient dimension can be large while the intrinsic
+    (doubling) dimension stays small, which is exactly the regime in which
+    the paper's coresets stay small.
+    """
+    n_points = check_positive_int(n_points, name="n_points")
+    intrinsic_dimension = check_positive_int(intrinsic_dimension, name="intrinsic_dimension")
+    ambient_dimension = check_positive_int(ambient_dimension, name="ambient_dimension")
+    if intrinsic_dimension > ambient_dimension:
+        raise InvalidParameterError(
+            "intrinsic_dimension must not exceed ambient_dimension"
+        )
+    if noise_std < 0:
+        raise InvalidParameterError("noise_std must be non-negative")
+    rng = check_random_state(random_state)
+    basis = rng.normal(size=(intrinsic_dimension, ambient_dimension))
+    basis /= np.linalg.norm(basis, axis=1, keepdims=True)
+    coords = rng.uniform(-10.0, 10.0, size=(n_points, intrinsic_dimension))
+    points = coords @ basis
+    if noise_std > 0:
+        points = points + rng.normal(0.0, noise_std, size=points.shape)
+    return points
+
+
+def annulus(
+    n_points: int,
+    *,
+    inner_radius: float = 5.0,
+    outer_radius: float = 10.0,
+    n_planted_outliers: int = 0,
+    outlier_distance: float = 100.0,
+    random_state=None,
+) -> np.ndarray:
+    """Two-dimensional annulus, optionally with planted far-away outliers.
+
+    A handy adversarial shape for k-center: the optimal centers lie inside
+    the ring, and planted outliers dominate the radius unless the outlier
+    formulation is used.
+    """
+    n_points = check_positive_int(n_points, name="n_points")
+    n_planted_outliers = check_non_negative_int(n_planted_outliers, name="n_planted_outliers")
+    if not 0 < inner_radius < outer_radius:
+        raise InvalidParameterError("require 0 < inner_radius < outer_radius")
+    rng = check_random_state(random_state)
+    angles = rng.uniform(0.0, 2.0 * np.pi, size=n_points)
+    radii = np.sqrt(rng.uniform(inner_radius**2, outer_radius**2, size=n_points))
+    points = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+    if n_planted_outliers > 0:
+        out_angles = rng.uniform(0.0, 2.0 * np.pi, size=n_planted_outliers)
+        outliers = outlier_distance * np.column_stack(
+            [np.cos(out_angles), np.sin(out_angles)]
+        )
+        points = np.vstack([points, outliers])
+        rng.shuffle(points)
+    return points

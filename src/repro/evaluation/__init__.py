@@ -1,0 +1,43 @@
+"""Evaluation harness: exact small-instance optima, ratio bookkeeping, experiment drivers, reporting."""
+
+from .brute_force import optimal_kcenter_radius, optimal_kcenter_with_outliers_radius
+from .experiments import (
+    DEFAULT_K,
+    ablation_coreset_stopping,
+    ablation_partitioning,
+    default_datasets,
+    figure2_mr_kcenter,
+    figure3_stream_kcenter,
+    figure4_mr_outliers,
+    figure5_stream_outliers,
+    figure6_scaling_size,
+    figure7_scaling_processors,
+    figure8_sequential,
+)
+from .ratio import BestRadiusRegistry, approximation_ratios
+from .reporting import format_records, format_table, summarize_series
+from .statistics import SummaryStatistics, mean_confidence_interval, repeat_runs
+
+__all__ = [
+    "DEFAULT_K",
+    "BestRadiusRegistry",
+    "ablation_coreset_stopping",
+    "ablation_partitioning",
+    "approximation_ratios",
+    "default_datasets",
+    "figure2_mr_kcenter",
+    "figure3_stream_kcenter",
+    "figure4_mr_outliers",
+    "figure5_stream_outliers",
+    "figure6_scaling_size",
+    "figure7_scaling_processors",
+    "figure8_sequential",
+    "SummaryStatistics",
+    "format_records",
+    "format_table",
+    "mean_confidence_interval",
+    "optimal_kcenter_radius",
+    "optimal_kcenter_with_outliers_radius",
+    "repeat_runs",
+    "summarize_series",
+]

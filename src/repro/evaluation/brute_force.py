@@ -1,0 +1,75 @@
+"""Exact (brute-force) solvers for tiny instances.
+
+The k-center problem is NP-hard, so exact optima are only computable for
+very small inputs; we use them in the test suite to verify the
+approximation guarantees of the implemented algorithms (e.g. GMM's factor
+2, OUTLIERSCLUSTER's factor 3 at the optimal radius).
+
+Both solvers enumerate all ``C(n, k)`` center subsets; keep ``n`` below a
+couple of dozen points.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from .._validation import check_k_z, check_points
+from ..exceptions import InvalidParameterError
+from ..metricspace.distance import Metric, get_metric
+
+__all__ = ["optimal_kcenter_radius", "optimal_kcenter_with_outliers_radius"]
+
+_MAX_BRUTE_FORCE_POINTS = 40
+
+
+def _pairwise(points, metric) -> np.ndarray:
+    pts = check_points(points)
+    if pts.shape[0] > _MAX_BRUTE_FORCE_POINTS:
+        raise InvalidParameterError(
+            f"brute-force solvers accept at most {_MAX_BRUTE_FORCE_POINTS} points; "
+            f"got {pts.shape[0]}"
+        )
+    return get_metric(metric).pairwise(pts)
+
+
+def optimal_kcenter_radius(points, k: int, metric: str | Metric = "euclidean") -> float:
+    """Exact optimal k-center radius ``r*_k(S)`` (centers restricted to ``S``).
+
+    Enumerates every size-``k`` subset of the input as candidate centers
+    and returns the smallest achievable radius.
+    """
+    distances = _pairwise(points, metric)
+    n = distances.shape[0]
+    k, _ = check_k_z(n, k, 0)
+    best = np.inf
+    indices = range(n)
+    for subset in combinations(indices, k):
+        radius = distances[:, subset].min(axis=1).max()
+        best = min(best, radius)
+    return float(best)
+
+
+def optimal_kcenter_with_outliers_radius(
+    points, k: int, z: int, metric: str | Metric = "euclidean"
+) -> float:
+    """Exact optimal radius ``r*_{k,z}(S)`` for k-center with ``z`` outliers.
+
+    For every size-``k`` center subset, the ``z`` farthest points are
+    discarded before taking the maximum distance; the minimum over all
+    subsets is returned.
+    """
+    distances = _pairwise(points, metric)
+    n = distances.shape[0]
+    k, z = check_k_z(n, k, z)
+    best = np.inf
+    for subset in combinations(range(n), k):
+        closest = distances[:, subset].min(axis=1)
+        if z > 0:
+            kth = n - z - 1
+            radius = np.partition(closest, kth)[kth]
+        else:
+            radius = closest.max()
+        best = min(best, radius)
+    return float(best)

@@ -1,0 +1,90 @@
+"""Empirical approximation-ratio bookkeeping.
+
+Computing exact optima is infeasible at the scales of the experiments, so
+the paper estimates the approximation ratio of a run as
+
+    radius of the returned clustering
+    ---------------------------------
+    best radius ever found for the same dataset / parameter configuration
+
+:class:`BestRadiusRegistry` implements exactly that: experiments record
+every radius they observe under a configuration key and then express each
+run relative to the best (smallest) radius recorded for that key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["BestRadiusRegistry", "approximation_ratios"]
+
+
+@dataclass
+class BestRadiusRegistry:
+    """Track the best (smallest) radius seen per configuration key.
+
+    Examples
+    --------
+    >>> registry = BestRadiusRegistry()
+    >>> registry.record(("higgs", 50), 12.0)
+    >>> registry.record(("higgs", 50), 10.0)
+    >>> registry.ratio(("higgs", 50), 12.0)
+    1.2
+    """
+
+    _best: dict = field(default_factory=dict)
+
+    def record(self, key: Hashable, radius: float) -> None:
+        """Record an observed ``radius`` for configuration ``key``."""
+        radius = float(radius)
+        if radius < 0 or not np.isfinite(radius):
+            raise InvalidParameterError("radius must be a finite, non-negative number")
+        current = self._best.get(key)
+        if current is None or radius < current:
+            self._best[key] = radius
+
+    def best(self, key: Hashable) -> float:
+        """The best radius recorded for ``key`` (raises ``KeyError`` if none)."""
+        return self._best[key]
+
+    def ratio(self, key: Hashable, radius: float) -> float:
+        """Approximation ratio of ``radius`` relative to the best known for ``key``.
+
+        Degenerate configurations whose best radius is 0 report a ratio of
+        1.0 when the queried radius is also 0, and ``inf`` otherwise.
+        """
+        best = self.best(key)
+        radius = float(radius)
+        if best == 0.0:
+            return 1.0 if radius == 0.0 else float("inf")
+        return radius / best
+
+    def keys(self) -> list:
+        """All configuration keys with at least one recorded radius."""
+        return list(self._best)
+
+
+def approximation_ratios(radii: dict, *, best: float | None = None) -> dict:
+    """Express a mapping ``label -> radius`` as ratios to the best of the group.
+
+    Parameters
+    ----------
+    radii:
+        Mapping from an arbitrary label (algorithm name, parameter value)
+        to the radius that configuration achieved.
+    best:
+        Optional externally-known best radius; defaults to the minimum of
+        the provided values.
+    """
+    if not radii:
+        return {}
+    values = {label: float(value) for label, value in radii.items()}
+    reference = min(values.values()) if best is None else float(best)
+    if reference <= 0.0:
+        return {label: (1.0 if value == 0.0 else float("inf")) for label, value in values.items()}
+    return {label: value / reference for label, value in values.items()}

@@ -1,0 +1,77 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness regenerates the paper's figures as *tables* (this is
+a terminal-first reproduction; plotting libraries are not available in the
+offline environment). Each experiment driver returns a list of result
+records (dictionaries); the helpers here turn them into aligned text
+tables and short summaries that mirror the figure axes of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_records", "summarize_series"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render ``rows`` under ``headers`` as an aligned, pipe-separated table."""
+    rendered_rows = [[_format_value(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render_row(list(headers)), "-+-".join("-" * w for w in widths)]
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_records(records: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
+    """Render a list of dictionaries as a table.
+
+    Parameters
+    ----------
+    records:
+        The result records (one per experimental configuration).
+    columns:
+        Optional explicit column order; defaults to the keys of the first
+        record.
+    """
+    if not records:
+        return "(no records)"
+    if columns is None:
+        columns = list(records[0].keys())
+    rows = [[record.get(column, "") for column in columns] for record in records]
+    return format_table(columns, rows)
+
+
+def summarize_series(
+    records: Sequence[Mapping],
+    *,
+    group_by: str,
+    value: str,
+) -> dict:
+    """Group records by one key and report the mean of another.
+
+    A tiny convenience used by the benchmark harness to print, e.g., the
+    mean approximation ratio per coreset multiplier.
+    """
+    groups: dict = {}
+    for record in records:
+        groups.setdefault(record[group_by], []).append(float(record[value]))
+    return {key: sum(values) / len(values) for key, values in groups.items()}

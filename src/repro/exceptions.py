@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends raised by
+NumPy or the standard library) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An algorithm or data-structure parameter is out of its valid range.
+
+    Examples include ``k <= 0``, ``epsilon`` outside ``(0, 1]``, or a
+    number of outliers ``z`` that is negative or not smaller than the
+    dataset size.
+    """
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset is malformed (wrong shape, empty, NaN values, ...)."""
+
+
+class MemoryBudgetExceededError(ReproError, RuntimeError):
+    """A simulated worker exceeded its configured local-memory budget.
+
+    Raised by :class:`repro.mapreduce.runtime.MapReduceRuntime` and by the
+    streaming runner when strict memory accounting is enabled and a reducer
+    (or the streaming working set) grows beyond the declared budget.
+    """
+
+
+class StreamingProtocolError(ReproError, RuntimeError):
+    """A streaming algorithm violated the streaming access discipline.
+
+    For instance, asking for a second pass from a single-pass source, or
+    attempting random access to the underlying data.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model/solver was queried for results before being run."""

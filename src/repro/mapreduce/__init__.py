@@ -1,0 +1,23 @@
+"""Simulated MapReduce substrate: runtime with memory accounting and partitioners."""
+
+from .partitioner import (
+    split_adversarial,
+    split_contiguous,
+    split_random,
+    split_round_robin,
+    validate_partition,
+)
+from .runtime import JobStats, KeyValue, MapReduceRuntime, RoundStats, default_sizeof
+
+__all__ = [
+    "JobStats",
+    "KeyValue",
+    "MapReduceRuntime",
+    "RoundStats",
+    "default_sizeof",
+    "split_adversarial",
+    "split_contiguous",
+    "split_random",
+    "split_round_robin",
+    "validate_partition",
+]

@@ -1,0 +1,132 @@
+"""Partitioning strategies for the first MapReduce round.
+
+The first round splits the input ``S`` into ``ell`` subsets ``S_i``.
+The paper uses three flavours:
+
+* **contiguous equal-size** splits (the deterministic algorithms only need
+  the subsets to have equal size);
+* **uniformly random** assignment of each point to a subset — the
+  randomized outlier algorithm of Section 3.2.1 relies on this to spread
+  the outliers evenly (Lemma 7);
+* an **adversarial** split used in the experiments of Section 5.2, where
+  all planted outliers are forced into the same partition to stress the
+  deterministic algorithm.
+
+Every function returns a list of ``ell`` index arrays (some possibly
+empty for degenerate inputs) that together partition ``range(n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import (
+    check_non_negative_int,
+    check_positive_int,
+    check_random_state,
+)
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "split_contiguous",
+    "split_round_robin",
+    "split_random",
+    "split_adversarial",
+    "validate_partition",
+]
+
+
+def split_contiguous(n: int, ell: int) -> list[np.ndarray]:
+    """Split ``range(n)`` into ``ell`` contiguous, (near-)equal-size blocks."""
+    n = check_positive_int(n, name="n")
+    ell = check_positive_int(ell, name="ell")
+    if ell > n:
+        raise InvalidParameterError(f"cannot split {n} points into {ell} non-empty parts")
+    return [np.array(part, dtype=np.intp) for part in np.array_split(np.arange(n), ell)]
+
+
+def split_round_robin(n: int, ell: int) -> list[np.ndarray]:
+    """Assign point ``i`` to partition ``i mod ell`` (deterministic interleaving)."""
+    n = check_positive_int(n, name="n")
+    ell = check_positive_int(ell, name="ell")
+    if ell > n:
+        raise InvalidParameterError(f"cannot split {n} points into {ell} non-empty parts")
+    indices = np.arange(n)
+    return [indices[indices % ell == i] for i in range(ell)]
+
+
+def split_random(n: int, ell: int, *, random_state=None) -> list[np.ndarray]:
+    """Assign each point to a uniformly random partition, independently.
+
+    This is the partitioning of the randomized outlier algorithm
+    (Section 3.2.1); unlike :func:`split_contiguous` the parts are only
+    equal in expectation, and parts can occasionally be empty for tiny
+    inputs — callers that need non-empty parts should fall back to
+    :func:`split_round_robin` in that case (the MapReduce drivers do).
+    """
+    n = check_positive_int(n, name="n")
+    ell = check_positive_int(ell, name="ell")
+    rng = check_random_state(random_state)
+    assignment = rng.integers(0, ell, size=n)
+    return [np.flatnonzero(assignment == i).astype(np.intp) for i in range(ell)]
+
+
+def split_adversarial(
+    n: int,
+    ell: int,
+    adversarial_indices: Sequence[int],
+    *,
+    target_partition: int = 0,
+    random_state=None,
+) -> list[np.ndarray]:
+    """Force the given indices into one partition, spreading the rest evenly.
+
+    Reproduces the adversarial placement of Section 5.2: all planted
+    outliers land in ``target_partition`` and the remaining points are
+    dealt round-robin (or shuffled round-robin when a ``random_state`` is
+    given) across all ``ell`` partitions, keeping sizes balanced.
+    """
+    n = check_positive_int(n, name="n")
+    ell = check_positive_int(ell, name="ell")
+    target_partition = check_non_negative_int(target_partition, name="target_partition")
+    if target_partition >= ell:
+        raise InvalidParameterError("target_partition must be smaller than ell")
+    adversarial = np.unique(np.asarray(adversarial_indices, dtype=np.intp))
+    if adversarial.size and (adversarial.min() < 0 or adversarial.max() >= n):
+        raise InvalidParameterError("adversarial_indices must be valid point indices")
+
+    remaining = np.setdiff1d(np.arange(n), adversarial, assume_unique=False)
+    if random_state is not None:
+        rng = check_random_state(random_state)
+        remaining = rng.permutation(remaining)
+
+    # Target sizes of a balanced partition of n points into ell parts.
+    base, extra = divmod(n, ell)
+    targets = [base + (1 if i < extra else 0) for i in range(ell)]
+
+    parts: list[list[int]] = [[] for _ in range(ell)]
+    parts[target_partition].extend(adversarial.tolist())
+    cursor = 0
+    for partition_id in range(ell):
+        missing = max(0, targets[partition_id] - len(parts[partition_id]))
+        take = remaining[cursor : cursor + missing]
+        parts[partition_id].extend(int(i) for i in take)
+        cursor += missing
+    # Leftovers (only possible when the adversarial block overflows its
+    # partition's target size) are dealt to the smallest partitions.
+    for index in remaining[cursor:]:
+        smallest = min(range(ell), key=lambda i: len(parts[i]))
+        parts[smallest].append(int(index))
+    return [np.array(sorted(part), dtype=np.intp) for part in parts]
+
+
+def validate_partition(parts: Sequence[np.ndarray], n: int) -> None:
+    """Check that ``parts`` is a partition of ``range(n)``; raise otherwise."""
+    n = check_positive_int(n, name="n")
+    combined = np.concatenate([np.asarray(p, dtype=np.intp) for p in parts]) if parts else np.empty(0, dtype=np.intp)
+    if combined.size != n or np.unique(combined).size != n:
+        raise InvalidParameterError("parts do not form a partition of range(n)")
+    if combined.size and (combined.min() < 0 or combined.max() >= n):
+        raise InvalidParameterError("partition contains out-of-range indices")

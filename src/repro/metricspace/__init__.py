@@ -1,0 +1,44 @@
+"""Metric-space substrate: points, metrics, enclosing balls, doubling dimension."""
+
+from .distance import (
+    DistanceCounter,
+    Metric,
+    angular,
+    available_metrics,
+    cdist,
+    chebyshev,
+    euclidean,
+    get_metric,
+    manhattan,
+    pairwise,
+    point_to_points,
+)
+from .doubling import (
+    correlation_dimension_estimate,
+    doubling_dimension_estimate,
+    greedy_cover_size,
+)
+from .meb import Ball, bounding_box_ball, minimum_enclosing_ball
+from .points import Dataset, WeightedPoints
+
+__all__ = [
+    "Ball",
+    "Dataset",
+    "DistanceCounter",
+    "Metric",
+    "WeightedPoints",
+    "angular",
+    "available_metrics",
+    "bounding_box_ball",
+    "cdist",
+    "chebyshev",
+    "correlation_dimension_estimate",
+    "doubling_dimension_estimate",
+    "euclidean",
+    "get_metric",
+    "greedy_cover_size",
+    "manhattan",
+    "minimum_enclosing_ball",
+    "pairwise",
+    "point_to_points",
+]

@@ -1,0 +1,226 @@
+"""Dataset and weighted point-set abstractions.
+
+The algorithms in :mod:`repro.core` are written against two light-weight
+containers:
+
+* :class:`Dataset` — an immutable view over a ``(n, d)`` matrix of points
+  plus the metric used to compare them. Algorithms refer to points by
+  integer index, which makes coresets, partitions and clusterings cheap
+  index arrays instead of data copies.
+* :class:`WeightedPoints` — a (small) set of points each carrying a
+  positive weight, used to represent the weighted coresets of Sections
+  3.2 and 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .._validation import check_points, check_weights
+from ..exceptions import InvalidParameterError
+from .distance import Metric, get_metric
+
+__all__ = ["Dataset", "WeightedPoints"]
+
+
+class Dataset:
+    """An immutable collection of points in a metric space.
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape ``(n, d)``. A 1-d array is treated as ``n``
+        one-dimensional points.
+    metric:
+        Either a metric name (``"euclidean"``, ``"manhattan"``,
+        ``"chebyshev"``) or a :class:`~repro.metricspace.distance.Metric`.
+
+    Examples
+    --------
+    >>> data = Dataset([[0.0, 0.0], [3.0, 4.0]])
+    >>> len(data)
+    2
+    >>> float(data.distance(0, 1))
+    5.0
+    """
+
+    def __init__(self, points, metric: str | Metric = "euclidean") -> None:
+        self._points = check_points(points)
+        self._points.setflags(write=False)
+        self._metric = get_metric(metric)
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._points.shape[0])
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._points)
+
+    def __getitem__(self, index) -> np.ndarray:
+        return self._points[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataset(n={len(self)}, dim={self.dimension}, "
+            f"metric={self._metric.name!r})"
+        )
+
+    # -- properties ----------------------------------------------------------------
+
+    @property
+    def points(self) -> np.ndarray:
+        """The underlying read-only ``(n, d)`` point matrix."""
+        return self._points
+
+    @property
+    def dimension(self) -> int:
+        """Number of coordinates per point."""
+        return int(self._points.shape[1])
+
+    @property
+    def metric(self) -> Metric:
+        """The metric used for all distance computations on this dataset."""
+        return self._metric
+
+    # -- distance helpers -----------------------------------------------------------
+
+    def distance(self, i: int, j: int) -> float:
+        """Distance between the points at indices ``i`` and ``j``."""
+        return self._metric.distance(self._points[i], self._points[j])
+
+    def distances_from(self, index: int, candidates: Sequence[int] | None = None) -> np.ndarray:
+        """Distances from the point at ``index`` to ``candidates`` (default: all points)."""
+        targets = self._points if candidates is None else self._points[np.asarray(candidates)]
+        return self._metric.point_to_points(self._points[index], targets)
+
+    def distances_to_set(self, indices: Sequence[int]) -> np.ndarray:
+        """Distance from every point of the dataset to its closest point in ``indices``.
+
+        This is the vector ``d(s, T)`` for ``T`` given by ``indices``; its
+        maximum is the radius ``r_T(S)`` used throughout the paper.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size == 0:
+            raise InvalidParameterError("indices must contain at least one point")
+        cross = self._metric.cdist(self._points, self._points[indices])
+        return cross.min(axis=1)
+
+    def radius(self, indices: Sequence[int]) -> float:
+        """Radius ``r_T(S)`` of the dataset w.r.t. the centers at ``indices``."""
+        return float(self.distances_to_set(indices).max())
+
+    def pairwise(self, indices: Sequence[int] | None = None) -> np.ndarray:
+        """Pairwise distance matrix of the points at ``indices`` (default: all)."""
+        pts = self._points if indices is None else self._points[np.asarray(indices, dtype=np.intp)]
+        return self._metric.pairwise(pts)
+
+    # -- restructuring --------------------------------------------------------------
+
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        """A new :class:`Dataset` containing only the points at ``indices``."""
+        indices = np.asarray(indices, dtype=np.intp)
+        return Dataset(self._points[indices], metric=self._metric)
+
+    def take(self, indices: Sequence[int]) -> np.ndarray:
+        """The raw coordinates of the points at ``indices`` (a copy)."""
+        return np.array(self._points[np.asarray(indices, dtype=np.intp)])
+
+
+@dataclass(frozen=True)
+class WeightedPoints:
+    """A small set of points with positive multiplicities (a weighted coreset).
+
+    The MapReduce and Streaming algorithms for the outlier formulation work
+    on weighted coresets: every coreset point ``t`` carries the number of
+    input points whose *proxy* is ``t``. This container keeps the point
+    coordinates and the weight vector together and offers the few
+    operations the algorithms need.
+
+    Attributes
+    ----------
+    points:
+        ``(m, d)`` array of coreset point coordinates.
+    weights:
+        ``(m,)`` array of strictly positive weights.
+    origin_indices:
+        Optional ``(m,)`` array mapping each coreset point back to the
+        index it had in the originating :class:`Dataset` (useful to report
+        solutions in terms of the original data). ``None`` when the points
+        were not drawn from an indexed dataset (e.g. streaming).
+    """
+
+    points: np.ndarray
+    weights: np.ndarray
+    origin_indices: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        points = check_points(self.points, name="points")
+        weights = check_weights(self.weights, points.shape[0])
+        object.__setattr__(self, "points", points)
+        object.__setattr__(self, "weights", weights)
+        if self.origin_indices is not None:
+            origin = np.asarray(self.origin_indices, dtype=np.intp)
+            if origin.shape != (points.shape[0],):
+                raise InvalidParameterError(
+                    "origin_indices must have one entry per coreset point"
+                )
+            object.__setattr__(self, "origin_indices", origin)
+
+    def __len__(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of the weights (the number of represented input points)."""
+        return float(self.weights.sum())
+
+    @property
+    def dimension(self) -> int:
+        """Number of coordinates per point."""
+        return int(self.points.shape[1])
+
+    @staticmethod
+    def concatenate(parts: Sequence["WeightedPoints"]) -> "WeightedPoints":
+        """Union of several weighted coresets (the composable-coreset union).
+
+        Origin indices are preserved only when *every* part carries them;
+        otherwise the union has ``origin_indices=None``.
+        """
+        parts = list(parts)
+        if not parts:
+            raise InvalidParameterError("cannot concatenate an empty list of coresets")
+        points = np.vstack([p.points for p in parts])
+        weights = np.concatenate([p.weights for p in parts])
+        if all(p.origin_indices is not None for p in parts):
+            origin = np.concatenate([p.origin_indices for p in parts])
+        else:
+            origin = None
+        return WeightedPoints(points=points, weights=weights, origin_indices=origin)
+
+    def unit_weights(self) -> "WeightedPoints":
+        """A copy of this coreset with all weights reset to one."""
+        return WeightedPoints(
+            points=np.array(self.points),
+            weights=np.ones(len(self)),
+            origin_indices=None if self.origin_indices is None else np.array(self.origin_indices),
+        )
+
+    @staticmethod
+    def from_dataset(
+        dataset: Dataset,
+        indices: Sequence[int],
+        weights: Sequence[float] | None = None,
+    ) -> "WeightedPoints":
+        """Build a weighted coreset from dataset ``indices`` (default weight 1 each)."""
+        indices = np.asarray(indices, dtype=np.intp)
+        if weights is None:
+            weights = np.ones(indices.shape[0])
+        return WeightedPoints(
+            points=dataset.take(indices),
+            weights=np.asarray(weights, dtype=np.float64),
+            origin_indices=indices,
+        )

@@ -1,0 +1,13 @@
+"""Streaming substrate: point streams and the execution harness."""
+
+from .runner import StreamingAlgorithm, StreamingReport, StreamingRunner
+from .stream import ArrayStream, GeneratorStream, PointStream
+
+__all__ = [
+    "ArrayStream",
+    "GeneratorStream",
+    "PointStream",
+    "StreamingAlgorithm",
+    "StreamingReport",
+    "StreamingRunner",
+]

@@ -1,0 +1,157 @@
+"""Streaming execution harness.
+
+:class:`StreamingAlgorithm` is the protocol every streaming solver in this
+package implements: points are pushed one at a time via
+:meth:`~StreamingAlgorithm.process`, the final answer is produced by
+:meth:`~StreamingAlgorithm.finalize`, and the algorithm reports its
+working-set size through :attr:`~StreamingAlgorithm.working_memory_size`
+so the harness can track peak memory (the paper's key space metric).
+
+:class:`StreamingRunner` drives an algorithm over a
+:class:`~repro.streaming.stream.PointStream`, honouring multi-pass
+algorithms, and reports throughput (points per second, excluding the
+finalisation step, as in the paper's throughput plots), peak working
+memory, and the number of passes used.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import MemoryBudgetExceededError, StreamingProtocolError
+from .stream import PointStream
+
+__all__ = ["StreamingAlgorithm", "StreamingReport", "StreamingRunner"]
+
+
+class StreamingAlgorithm(ABC):
+    """Base class for one- or multi-pass streaming algorithms."""
+
+    #: Number of sequential passes the algorithm needs over the stream.
+    n_passes: int = 1
+
+    def start_pass(self, pass_index: int) -> None:
+        """Hook called before each pass (``pass_index`` is 0-based)."""
+
+    @abstractmethod
+    def process(self, point: np.ndarray) -> None:
+        """Consume one point of the current pass."""
+
+    @abstractmethod
+    def finalize(self):
+        """Produce the final answer once every pass has been consumed."""
+
+    @property
+    @abstractmethod
+    def working_memory_size(self) -> int:
+        """Current number of stored points (the paper's working-memory unit)."""
+
+
+@dataclass(frozen=True)
+class StreamingReport:
+    """Outcome of running a streaming algorithm over a stream.
+
+    Attributes
+    ----------
+    result:
+        Whatever the algorithm's :meth:`~StreamingAlgorithm.finalize`
+        returned.
+    n_points:
+        Number of points consumed (per pass).
+    n_passes:
+        Number of passes performed.
+    peak_memory:
+        Largest working-memory size observed (in stored points).
+    stream_time:
+        Wall-clock seconds spent pushing points (excludes finalisation).
+    finalize_time:
+        Wall-clock seconds spent in finalisation.
+    throughput:
+        Points per second during streaming (``n_points * n_passes /
+        stream_time``); ``inf`` for degenerate zero-duration runs.
+    """
+
+    result: object
+    n_points: int
+    n_passes: int
+    peak_memory: int
+    stream_time: float
+    finalize_time: float
+
+    @property
+    def throughput(self) -> float:
+        """Points processed per second while streaming."""
+        total = self.n_points * self.n_passes
+        if self.stream_time <= 0:
+            return float("inf")
+        return total / self.stream_time
+
+
+class StreamingRunner:
+    """Drive a :class:`StreamingAlgorithm` over a :class:`PointStream`.
+
+    Parameters
+    ----------
+    memory_limit:
+        Optional hard cap (stored points) on the algorithm's working
+        memory; exceeding it raises
+        :class:`~repro.exceptions.MemoryBudgetExceededError`.
+    memory_check_interval:
+        Working memory is sampled every this many processed points (peak
+        tracking stays accurate for the algorithms in this package because
+        their memory only changes when a point is inserted).
+    """
+
+    def __init__(self, *, memory_limit: int | None = None, memory_check_interval: int = 1) -> None:
+        if memory_check_interval < 1:
+            raise StreamingProtocolError("memory_check_interval must be >= 1")
+        self._memory_limit = memory_limit
+        self._interval = int(memory_check_interval)
+
+    def run(self, algorithm: StreamingAlgorithm, stream: PointStream) -> StreamingReport:
+        """Feed ``stream`` into ``algorithm`` and return a :class:`StreamingReport`."""
+        if algorithm.n_passes > stream.max_passes:
+            raise StreamingProtocolError(
+                f"algorithm needs {algorithm.n_passes} passes but the stream "
+                f"supports at most {stream.max_passes}"
+            )
+
+        peak_memory = 0
+        points_in_pass = 0
+        stream_time = 0.0
+
+        for pass_index in range(algorithm.n_passes):
+            algorithm.start_pass(pass_index)
+            points_in_pass = 0
+            start = time.perf_counter()
+            for point in stream.iterate_pass():
+                algorithm.process(point)
+                points_in_pass += 1
+                if points_in_pass % self._interval == 0:
+                    memory = algorithm.working_memory_size
+                    peak_memory = max(peak_memory, memory)
+                    if self._memory_limit is not None and memory > self._memory_limit:
+                        raise MemoryBudgetExceededError(
+                            f"streaming working memory reached {memory} points, "
+                            f"exceeding the limit of {self._memory_limit}"
+                        )
+            stream_time += time.perf_counter() - start
+            peak_memory = max(peak_memory, algorithm.working_memory_size)
+
+        finalize_start = time.perf_counter()
+        result = algorithm.finalize()
+        finalize_time = time.perf_counter() - finalize_start
+        peak_memory = max(peak_memory, algorithm.working_memory_size)
+
+        return StreamingReport(
+            result=result,
+            n_points=points_in_pass,
+            n_passes=algorithm.n_passes,
+            peak_memory=peak_memory,
+            stream_time=stream_time,
+            finalize_time=finalize_time,
+        )

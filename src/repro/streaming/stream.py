@@ -1,0 +1,141 @@
+"""Stream sources for the Streaming algorithms.
+
+A *stream* delivers points one at a time and enforces the streaming
+discipline: no random access, and only as many sequential passes as the
+source supports. Two sources are provided:
+
+* :class:`ArrayStream` — wraps an in-memory ``(n, d)`` array (optionally
+  shuffled once up front, as the paper does before streaming); supports an
+  arbitrary number of passes, so it can also drive the 2-pass
+  dimension-oblivious algorithm.
+* :class:`GeneratorStream` — wraps a single-use iterable of points or
+  batches (e.g. :func:`repro.datasets.inflate_streaming`); strictly
+  one pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .._validation import check_points, check_random_state
+from ..exceptions import StreamingProtocolError
+
+__all__ = ["PointStream", "ArrayStream", "GeneratorStream"]
+
+
+class PointStream:
+    """Abstract base class for point streams.
+
+    Subclasses implement :meth:`_iterate_once`; the base class enforces the
+    pass budget and counts delivered points.
+    """
+
+    def __init__(self, *, max_passes: int) -> None:
+        self._max_passes = max_passes
+        self._passes_started = 0
+        self._points_delivered = 0
+
+    @property
+    def passes_started(self) -> int:
+        """Number of passes begun so far."""
+        return self._passes_started
+
+    @property
+    def points_delivered(self) -> int:
+        """Total number of points handed out across all passes."""
+        return self._points_delivered
+
+    @property
+    def max_passes(self) -> int:
+        """Number of passes this source supports."""
+        return self._max_passes
+
+    def iterate_pass(self) -> Iterator[np.ndarray]:
+        """Begin a new pass and yield its points one at a time."""
+        if self._passes_started >= self._max_passes:
+            raise StreamingProtocolError(
+                f"this stream supports at most {self._max_passes} pass(es)"
+            )
+        self._passes_started += 1
+        for point in self._iterate_once():
+            self._points_delivered += 1
+            yield point
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return self.iterate_pass()
+
+    def _iterate_once(self) -> Iterator[np.ndarray]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ArrayStream(PointStream):
+    """Stream over an in-memory point matrix; supports multiple passes.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array.
+    shuffle:
+        Shuffle once before the first pass (all passes then see the same
+        shuffled order), mirroring the paper's experimental protocol.
+    max_passes:
+        Pass budget; defaults to unlimited (``None``).
+    random_state:
+        Seed for the shuffle.
+    """
+
+    def __init__(
+        self,
+        points,
+        *,
+        shuffle: bool = False,
+        max_passes: int | None = None,
+        random_state=None,
+    ) -> None:
+        super().__init__(max_passes=np.inf if max_passes is None else int(max_passes))
+        pts = check_points(points)
+        if shuffle:
+            rng = check_random_state(random_state)
+            pts = pts[rng.permutation(pts.shape[0])]
+        self._points = pts
+
+    def __len__(self) -> int:
+        return int(self._points.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Number of coordinates per point."""
+        return int(self._points.shape[1])
+
+    def _iterate_once(self) -> Iterator[np.ndarray]:
+        for row in self._points:
+            yield row
+
+
+class GeneratorStream(PointStream):
+    """Single-pass stream over an iterable of points or point batches.
+
+    Each item of ``source`` may be a single point (1-d array-like) or a
+    batch (2-d array-like); batches are unrolled point by point, so
+    generators such as :func:`repro.datasets.inflate_streaming` can feed
+    the streaming algorithms without materialising the data.
+    """
+
+    def __init__(self, source: Iterable) -> None:
+        super().__init__(max_passes=1)
+        self._source = source
+
+    def _iterate_once(self) -> Iterator[np.ndarray]:
+        for item in self._source:
+            array = np.asarray(item, dtype=np.float64)
+            if array.ndim == 1:
+                yield array
+            elif array.ndim == 2:
+                for row in array:
+                    yield row
+            else:
+                raise StreamingProtocolError(
+                    "stream items must be points (1-d) or batches of points (2-d)"
+                )

@@ -1,0 +1,52 @@
+"""Tests for repro.baselines.charikar (CHARIKARETAL)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import CharikarKCenterOutliers
+from repro.evaluation import optimal_kcenter_with_outliers_radius
+from repro.exceptions import InvalidParameterError
+
+
+class TestCharikarKCenterOutliers:
+    def test_basic_run(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        result = CharikarKCenterOutliers(5, z).fit(data)
+        assert result.k <= 5
+        assert result.radius <= result.radius_all_points
+        assert result.elapsed_time >= 0
+
+    def test_identifies_planted_outliers(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        result = CharikarKCenterOutliers(5, z).fit(data)
+        assert set(result.outlier_indices) == set(blobs_with_outliers.outlier_indices)
+
+    def test_three_approximation_on_tiny_instance(self, rng):
+        points = rng.normal(size=(16, 2)) * 4
+        points[0] += 70.0
+        k, z = 3, 1
+        result = CharikarKCenterOutliers(k, z).fit(points)
+        optimum = optimal_kcenter_with_outliers_radius(points, k, z)
+        assert result.radius <= 3.0 * optimum + 1e-9
+
+    def test_max_points_guard(self, medium_blobs):
+        solver = CharikarKCenterOutliers(5, 10, max_points=100)
+        with pytest.raises(InvalidParameterError):
+            solver.fit(medium_blobs)
+
+    def test_zero_outliers(self, small_blobs):
+        result = CharikarKCenterOutliers(4, 0).fit(small_blobs)
+        assert result.radius == pytest.approx(result.radius_all_points)
+
+    def test_k_too_large(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(InvalidParameterError):
+            CharikarKCenterOutliers(5, 0).fit(points)
+
+    def test_centers_are_input_points(self, small_blobs):
+        result = CharikarKCenterOutliers(4, 3).fit(small_blobs)
+        np.testing.assert_allclose(result.centers, small_blobs[result.center_indices])

@@ -1,0 +1,45 @@
+"""Tests for repro.baselines.doubling_stream (Charikar et al. [15])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import DoublingStreamKCenter
+from repro.core import clustering_radius
+from repro.evaluation import optimal_kcenter_radius
+from repro.streaming import ArrayStream, StreamingRunner
+
+
+class TestDoublingStreamKCenter:
+    def test_memory_bounded_by_k_plus_one(self, medium_blobs):
+        k = 10
+        algorithm = DoublingStreamKCenter(k)
+        report = StreamingRunner().run(algorithm, ArrayStream(medium_blobs))
+        assert report.peak_memory <= k + 1
+        assert report.result.centers.shape[0] <= k
+
+    def test_radius_bound_is_respected(self, medium_blobs):
+        algorithm = DoublingStreamKCenter(12)
+        report = StreamingRunner().run(algorithm, ArrayStream(medium_blobs))
+        actual_radius = clustering_radius(medium_blobs, report.result.centers)
+        assert actual_radius <= report.result.radius_bound + 1e-9
+
+    def test_eight_approximation_on_tiny_instance(self, rng):
+        points = rng.normal(size=(20, 2)) * 3
+        k = 3
+        algorithm = DoublingStreamKCenter(k)
+        report = StreamingRunner().run(algorithm, ArrayStream(points))
+        radius = clustering_radius(points, report.result.centers)
+        optimum = optimal_kcenter_radius(points, k)
+        assert radius <= 8.0 * optimum + 1e-9
+
+    def test_lower_bound_below_radius_bound(self, small_blobs):
+        algorithm = DoublingStreamKCenter(5)
+        report = StreamingRunner().run(algorithm, ArrayStream(small_blobs))
+        assert report.result.lower_bound <= report.result.radius_bound
+
+    def test_short_stream(self):
+        points = np.arange(4, dtype=float).reshape(-1, 1)
+        algorithm = DoublingStreamKCenter(8)
+        report = StreamingRunner().run(algorithm, ArrayStream(points))
+        assert report.result.centers.shape[0] == 4

@@ -1,0 +1,18 @@
+"""Tests for repro.baselines.gonzalez."""
+
+from __future__ import annotations
+
+from repro.baselines import gonzalez_kcenter
+from repro.core import gmm_select
+
+
+class TestGonzalezBaseline:
+    def test_matches_gmm_select(self, small_blobs):
+        a = gonzalez_kcenter(small_blobs, 5)
+        b = gmm_select(small_blobs, 5)
+        assert a.radius == b.radius
+        assert a.centers.tolist() == b.centers.tolist()
+
+    def test_random_start(self, small_blobs):
+        result = gonzalez_kcenter(small_blobs, 5, random_state=3)
+        assert result.n_centers == 5

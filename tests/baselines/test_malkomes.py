@@ -1,0 +1,64 @@
+"""Tests for repro.baselines.malkomes (the mu = 1 MapReduce baselines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import MalkomesKCenter, MalkomesKCenterOutliers
+from repro.core import MapReduceKCenter, MapReduceKCenterOutliers
+
+
+class TestMalkomesKCenter:
+    def test_is_the_mu_one_configuration(self):
+        baseline = MalkomesKCenter(5, ell=4)
+        assert baseline.coreset_multiplier == 1.0
+        assert isinstance(baseline, MapReduceKCenter)
+
+    def test_coreset_size_is_ell_times_k(self, medium_blobs):
+        k, ell = 6, 4
+        result = MalkomesKCenter(k, ell=ell, random_state=0).fit(medium_blobs)
+        assert result.coreset_size == ell * k
+        assert result.k == k
+
+    def test_never_better_than_large_coreset_on_average(self, medium_blobs):
+        # Averaged over seeds, the mu=1 baseline should not beat mu=8 (the
+        # paper's central experimental claim for Figure 2).
+        k, ell = 8, 4
+        baseline_radii, ours_radii = [], []
+        for seed in range(4):
+            baseline_radii.append(MalkomesKCenter(k, ell=ell, random_state=seed).fit(medium_blobs).radius)
+            ours_radii.append(
+                MapReduceKCenter(k, ell=ell, coreset_multiplier=8, random_state=seed)
+                .fit(medium_blobs)
+                .radius
+            )
+        assert sum(ours_radii) <= sum(baseline_radii) * 1.05
+
+
+class TestMalkomesKCenterOutliers:
+    def test_is_the_mu_one_configuration(self):
+        baseline = MalkomesKCenterOutliers(5, 10, ell=4)
+        assert baseline.coreset_multiplier == 1.0
+        assert baseline.randomized is False
+        assert isinstance(baseline, MapReduceKCenterOutliers)
+
+    def test_runs_and_respects_budget(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        k, ell = 5, 4
+        result = MalkomesKCenterOutliers(k, z, ell=ell, random_state=0).fit(data)
+        assert result.coreset_size == ell * (k + z)
+        assert result.radius <= result.radius_all_points
+
+    def test_adversarial_partitioning_supported(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        result = MalkomesKCenterOutliers(
+            5,
+            z,
+            ell=4,
+            partitioning="adversarial",
+            adversarial_indices=blobs_with_outliers.outlier_indices,
+            random_state=0,
+        ).fit(data)
+        assert result.radius > 0

@@ -1,0 +1,85 @@
+"""Tests for repro.baselines.mccutchen (BASESTREAM and BASEOUTLIERS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaseStreamKCenter, BaseStreamOutliers
+from repro.core import clustering_radius, gmm_select, radius_with_outliers
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.streaming import ArrayStream, StreamingRunner
+
+
+class TestBaseStreamKCenter:
+    def test_basic_run(self, medium_blobs):
+        algorithm = BaseStreamKCenter(6, n_instances=4)
+        report = StreamingRunner().run(algorithm, ArrayStream(medium_blobs, shuffle=True, random_state=0))
+        assert report.result.centers.shape[0] <= 6
+        assert report.result.guess > 0
+        assert 0 <= report.result.instance_index < 4
+
+    def test_memory_bounded_by_m_times_k(self, medium_blobs):
+        k, m = 6, 4
+        algorithm = BaseStreamKCenter(k, n_instances=m)
+        report = StreamingRunner().run(algorithm, ArrayStream(medium_blobs))
+        assert report.peak_memory <= m * k + k + 1
+
+    def test_quality_within_constant_of_gmm(self, medium_blobs):
+        k = 8
+        algorithm = BaseStreamKCenter(k, n_instances=8)
+        report = StreamingRunner().run(
+            algorithm, ArrayStream(medium_blobs, shuffle=True, random_state=1)
+        )
+        streaming_radius = clustering_radius(medium_blobs, report.result.centers)
+        offline_radius = gmm_select(medium_blobs, k).radius
+        # The guess-based algorithm is a constant-factor approximation; the
+        # constant is small in practice, but allow a generous factor.
+        assert streaming_radius <= 6.0 * offline_radius + 1e-9
+
+    def test_short_stream_finalize(self):
+        points = np.arange(3, dtype=float).reshape(-1, 1)
+        algorithm = BaseStreamKCenter(5, n_instances=2)
+        report = StreamingRunner().run(algorithm, ArrayStream(points))
+        assert report.result.centers.shape[0] == 3
+
+    def test_finalize_before_any_point_raises(self):
+        with pytest.raises(NotFittedError):
+            BaseStreamKCenter(3).finalize()
+
+
+class TestBaseStreamOutliers:
+    def test_configuration_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BaseStreamOutliers(3, 10, buffer_capacity=5)
+
+    def test_basic_run(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        algorithm = BaseStreamOutliers(5, z, n_instances=1, buffer_capacity=80)
+        report = StreamingRunner().run(algorithm, ArrayStream(data, shuffle=True, random_state=0))
+        assert report.result.centers.shape[0] >= 1
+        assert report.result.n_uncovered >= 0
+
+    def test_excludes_planted_outliers(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        algorithm = BaseStreamOutliers(5, z, n_instances=2, buffer_capacity=80)
+        report = StreamingRunner().run(algorithm, ArrayStream(data, shuffle=True, random_state=2))
+        radius_excl = radius_with_outliers(data, report.result.centers, z)
+        radius_all = radius_with_outliers(data, report.result.centers, 0)
+        assert radius_excl < radius_all
+
+    def test_memory_stays_bounded(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        capacity = 60
+        algorithm = BaseStreamOutliers(5, z, n_instances=1, buffer_capacity=capacity)
+        report = StreamingRunner().run(algorithm, ArrayStream(data, shuffle=True, random_state=0))
+        # centers (<= k) + buffer (<= capacity + 1 transient) per instance,
+        # plus the initial buffer of k + z + 1 points before instances start.
+        assert report.peak_memory <= max(capacity + 5 + 2, 5 + z + 1)
+
+    def test_finalize_before_any_point_raises(self):
+        with pytest.raises(NotFittedError):
+            BaseStreamOutliers(3, 5).finalize()

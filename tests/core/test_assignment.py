@@ -1,0 +1,95 @@
+"""Tests for repro.core.assignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    assign_to_centers,
+    clustering_radius,
+    evaluate_solution,
+    radius_with_outliers,
+)
+from repro.core.assignment import radius_from_distances
+from repro.exceptions import InvalidParameterError
+
+
+class TestAssignToCenters:
+    def test_basic_assignment(self):
+        points = np.array([[0.0], [1.0], [9.0], [10.0]])
+        centers = np.array([[0.0], [10.0]])
+        clustering = assign_to_centers(points, centers)
+        np.testing.assert_array_equal(clustering.assignment, [0, 0, 1, 1])
+        assert clustering.radius == pytest.approx(1.0)
+
+    def test_cluster_sizes(self):
+        points = np.array([[0.0], [0.1], [0.2], [10.0]])
+        centers = np.array([[0.0], [10.0]])
+        clustering = assign_to_centers(points, centers)
+        np.testing.assert_array_equal(clustering.cluster_sizes(), [3, 1])
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(InvalidParameterError):
+            assign_to_centers(np.zeros((3, 2)), np.zeros((2, 3)))
+
+    def test_centers_need_not_be_input_points(self):
+        points = np.array([[0.0, 0.0], [2.0, 0.0]])
+        centers = np.array([[1.0, 0.0]])
+        clustering = assign_to_centers(points, centers)
+        assert clustering.radius == pytest.approx(1.0)
+
+    def test_radius_excluding(self):
+        points = np.array([[0.0], [1.0], [100.0]])
+        centers = np.array([[0.0]])
+        clustering = assign_to_centers(points, centers)
+        assert clustering.radius == pytest.approx(100.0)
+        assert clustering.radius_excluding(1) == pytest.approx(1.0)
+        assert clustering.radius_excluding(3) == pytest.approx(0.0)
+
+    def test_outlier_indices(self):
+        points = np.array([[0.0], [1.0], [100.0], [50.0]])
+        centers = np.array([[0.0]])
+        clustering = assign_to_centers(points, centers)
+        np.testing.assert_array_equal(clustering.outlier_indices(2), [2, 3])
+        assert clustering.outlier_indices(0).size == 0
+
+
+class TestRadiusFromDistances:
+    def test_no_outliers(self):
+        assert radius_from_distances(np.array([1.0, 5.0, 3.0])) == pytest.approx(5.0)
+
+    def test_with_outliers(self):
+        assert radius_from_distances(np.array([1.0, 5.0, 3.0]), 1) == pytest.approx(3.0)
+
+    def test_all_outliers(self):
+        assert radius_from_distances(np.array([1.0, 5.0]), 2) == pytest.approx(0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            radius_from_distances(np.array([]))
+
+
+class TestConvenienceFunctions:
+    def test_clustering_radius(self, small_blobs):
+        radius = clustering_radius(small_blobs, small_blobs[:5])
+        assert radius > 0
+
+    def test_radius_with_outliers_smaller(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        centers = data[:10]
+        with_out = radius_with_outliers(data, centers, blobs_with_outliers.n_outliers)
+        plain = clustering_radius(data, centers)
+        assert with_out <= plain
+
+    def test_evaluate_solution_keys(self, small_blobs):
+        summary = evaluate_solution(small_blobs, small_blobs[:3], n_outliers=2)
+        assert set(summary) == {
+            "radius",
+            "radius_with_outliers",
+            "n_centers",
+            "cluster_sizes",
+            "outlier_indices",
+        }
+        assert summary["n_centers"] == 3
+        assert summary["outlier_indices"].shape == (2,)

@@ -1,0 +1,108 @@
+"""Tests for repro.core.model (the fit/predict facade)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    KCenterModel,
+    MapReduceKCenter,
+    MapReduceKCenterOutliers,
+    SequentialKCenter,
+    SequentialKCenterOutliers,
+)
+from repro.exceptions import InvalidParameterError, NotFittedError
+
+
+class TestConstruction:
+    def test_accepts_all_solver_types(self, small_blobs):
+        for solver in (
+            SequentialKCenter(3),
+            SequentialKCenterOutliers(3, 5, coreset_multiplier=2),
+            MapReduceKCenter(3, ell=2, coreset_multiplier=2),
+            MapReduceKCenterOutliers(3, 5, ell=2, coreset_multiplier=2),
+        ):
+            model = KCenterModel(solver)
+            assert model.fit(small_blobs).centers.shape[0] <= 3
+
+    def test_rejects_arbitrary_objects(self):
+        with pytest.raises(InvalidParameterError):
+            KCenterModel(object())
+
+    def test_not_fitted_errors(self):
+        model = KCenterModel(SequentialKCenter(2))
+        with pytest.raises(NotFittedError):
+            _ = model.centers
+        with pytest.raises(NotFittedError):
+            model.predict([[0.0, 0.0]])
+
+
+class TestPrediction:
+    @pytest.fixture
+    def two_cluster_model(self):
+        points = np.vstack(
+            [np.random.default_rng(0).normal(0.0, 0.3, size=(30, 2)),
+             np.random.default_rng(1).normal(20.0, 0.3, size=(30, 2))]
+        )
+        return KCenterModel(SequentialKCenter(2)).fit(points), points
+
+    def test_predict_assigns_to_nearest_center(self, two_cluster_model):
+        model, _ = two_cluster_model
+        labels = model.predict([[0.0, 0.0], [20.0, 20.0]])
+        assert labels.shape == (2,)
+        assert labels[0] != labels[1]
+
+    def test_transform_shape(self, two_cluster_model):
+        model, points = two_cluster_model
+        distances = model.transform(points[:5])
+        assert distances.shape == (5, 2)
+
+    def test_predict_distance_matches_transform(self, two_cluster_model):
+        model, points = two_cluster_model
+        np.testing.assert_allclose(
+            model.predict_distance(points[:7]), model.transform(points[:7]).min(axis=1)
+        )
+
+    def test_outlier_mask_flags_far_points(self, two_cluster_model):
+        model, points = two_cluster_model
+        query = np.vstack([points[:3], [[1000.0, 1000.0]]])
+        mask = model.outlier_mask(query)
+        assert mask.tolist() == [False, False, False, True]
+
+    def test_outlier_mask_custom_threshold(self, two_cluster_model):
+        model, points = two_cluster_model
+        mask = model.outlier_mask(points, threshold=0.0)
+        # With a zero threshold only the centers themselves are inliers.
+        assert mask.sum() >= points.shape[0] - 2
+
+    def test_outlier_mask_negative_threshold_rejected(self, two_cluster_model):
+        model, points = two_cluster_model
+        with pytest.raises(InvalidParameterError):
+            model.outlier_mask(points, threshold=-1.0)
+
+    def test_evaluate(self, two_cluster_model):
+        model, points = two_cluster_model
+        summary = model.evaluate(points)
+        assert summary["radius"] == pytest.approx(model.radius, rel=1e-9)
+        assert summary["cluster_sizes"].sum() == points.shape[0]
+
+
+class TestOutlierSolverIntegration:
+    def test_training_outliers_recorded(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        model = KCenterModel(
+            SequentialKCenterOutliers(5, z, coreset_multiplier=8, random_state=0)
+        ).fit(data)
+        assert set(model.fitted.training_outlier_indices) == set(
+            blobs_with_outliers.outlier_indices
+        )
+        # The fitted radius excludes outliers, so the planted ones are flagged.
+        mask = model.outlier_mask(data)
+        assert set(np.flatnonzero(mask)) >= set(blobs_with_outliers.outlier_indices)
+
+    def test_metric_defaults_to_solver_metric(self):
+        solver = SequentialKCenter(2, metric="manhattan")
+        model = KCenterModel(solver)
+        assert model.metric.name == "manhattan"

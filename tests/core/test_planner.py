@@ -1,0 +1,79 @@
+"""Tests for repro.core.planner (resource planning from the paper's bounds)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import plan_mapreduce, plan_streaming
+from repro.datasets import points_on_manifold
+
+
+class TestPlanMapReduce:
+    def test_kcenter_variant_ell_scaling(self):
+        plan = plan_mapreduce(1_000_000, 100, doubling_dimension=2)
+        assert plan.variant == "kcenter"
+        assert plan.ell == pytest.approx(math.sqrt(1_000_000 / 100), rel=0.2)
+        assert plan.per_partition_points * plan.ell >= 1_000_000
+
+    def test_outliers_variant(self):
+        plan = plan_mapreduce(1_000_000, 20, z=200, doubling_dimension=2)
+        assert plan.variant == "outliers"
+        assert plan.coreset_size_practical <= plan.per_partition_points
+
+    def test_randomized_variant_smaller_base_when_z_large(self):
+        deterministic = plan_mapreduce(10_000_000, 20, z=100_000, doubling_dimension=1)
+        randomized = plan_mapreduce(
+            10_000_000, 20, z=100_000, randomized=True, doubling_dimension=1
+        )
+        assert randomized.variant == "outliers-randomized"
+        assert randomized.coreset_size_practical < deterministic.coreset_size_practical
+
+    def test_theoretical_size_grows_with_dimension(self):
+        low = plan_mapreduce(100_000, 10, doubling_dimension=1)
+        high = plan_mapreduce(100_000, 10, doubling_dimension=4)
+        assert high.coreset_size_theoretical > low.coreset_size_theoretical
+
+    def test_theoretical_size_grows_with_precision(self):
+        loose = plan_mapreduce(100_000, 10, epsilon=1.0, doubling_dimension=2)
+        tight = plan_mapreduce(100_000, 10, epsilon=0.25, doubling_dimension=2)
+        assert tight.coreset_size_theoretical > loose.coreset_size_theoretical
+
+    def test_local_memory_covers_both_rounds(self):
+        plan = plan_mapreduce(100_000, 50, doubling_dimension=2)
+        assert plan.local_memory >= plan.per_partition_points
+        assert plan.local_memory >= plan.union_coreset_size
+
+    def test_dimension_estimated_from_sample(self):
+        sample = points_on_manifold(400, 2, 6, random_state=0)
+        plan = plan_mapreduce(100_000, 10, sample=sample, random_state=0)
+        assert plan.doubling_dimension >= 0.0
+
+    def test_default_dimension_without_sample(self):
+        plan = plan_mapreduce(1000, 5)
+        assert plan.doubling_dimension == 2.0
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(ValueError):
+            plan_mapreduce(1000, 5, practical_multiplier=0.5)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            plan_mapreduce(1000, 5, doubling_dimension=-1)
+
+
+class TestPlanStreaming:
+    def test_theorem3_formula(self):
+        plan = plan_streaming(20, 200, epsilon=1.0, doubling_dimension=0)
+        assert plan.coreset_size_theoretical == 220
+        assert plan.coreset_size_practical == 8 * 220
+        assert plan.working_memory == plan.coreset_size_practical + 1
+
+    def test_dimension_blowup(self):
+        plan = plan_streaming(20, 200, epsilon=1.0, doubling_dimension=1)
+        assert plan.coreset_size_theoretical == 220 * 96
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(ValueError):
+            plan_streaming(5, 5, practical_multiplier=0.0)

@@ -1,0 +1,88 @@
+"""Tests for repro.core.radius_search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OutliersClusterSolver, search_radius
+from repro.core.radius_search import delta_for
+from repro.evaluation import optimal_kcenter_with_outliers_radius
+from repro.exceptions import InvalidParameterError
+from repro.metricspace import WeightedPoints
+
+
+def _unit_coreset(points: np.ndarray) -> WeightedPoints:
+    return WeightedPoints(points=points, weights=np.ones(points.shape[0]))
+
+
+class TestDeltaFor:
+    def test_zero_eps_hat(self):
+        assert delta_for(0.0) == 0.0
+
+    def test_formula(self):
+        eps_hat = 0.3
+        assert delta_for(eps_hat) == pytest.approx(eps_hat / (3 + 4 * eps_hat))
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            delta_for(-0.1)
+
+
+class TestSearchRadius:
+    def test_found_radius_is_feasible(self, small_blobs):
+        solver = OutliersClusterSolver(_unit_coreset(small_blobs), k=4, eps_hat=0.1)
+        result = search_radius(solver, z=5)
+        assert result.solution.uncovered_weight <= 5
+
+    def test_probes_counted(self, small_blobs):
+        solver = OutliersClusterSolver(_unit_coreset(small_blobs[:50]), k=3, eps_hat=0.1)
+        result = search_radius(solver, z=2)
+        assert result.probes >= 1
+
+    def test_zero_radius_for_duplicate_points(self):
+        points = np.zeros((10, 2))
+        solver = OutliersClusterSolver(_unit_coreset(points), k=1, eps_hat=0.0)
+        result = search_radius(solver, z=0)
+        assert result.radius == pytest.approx(0.0)
+        assert result.solution.uncovered_weight == pytest.approx(0.0)
+
+    def test_radius_close_to_optimum_unit_weights(self, rng):
+        # With unit weights and eps_hat = 0, the search reproduces Charikar
+        # et al.: the accepted radius is at most the optimal r*_{k,z} (the
+        # optimum itself is feasible because of the 3r coverage balls), and
+        # the final clustering radius is at most 3x that.
+        points = rng.normal(size=(15, 2))
+        points[:2] += 40.0
+        k, z = 3, 2
+        solver = OutliersClusterSolver(_unit_coreset(points), k=k, eps_hat=0.0)
+        result = search_radius(solver, z=z)
+        optimum = optimal_kcenter_with_outliers_radius(points, k, z)
+        assert result.radius <= optimum + 1e-9
+
+    def test_smaller_z_larger_radius(self, small_blobs):
+        solver = OutliersClusterSolver(_unit_coreset(small_blobs), k=2, eps_hat=0.1)
+        tight = search_radius(solver, z=0)
+        loose = search_radius(solver, z=30)
+        assert loose.radius <= tight.radius + 1e-9
+
+    def test_geometric_refinement_does_not_break_feasibility(self, small_blobs):
+        solver = OutliersClusterSolver(_unit_coreset(small_blobs), k=3, eps_hat=0.5)
+        result = search_radius(solver, z=4)
+        check = solver.run(result.radius)
+        assert check.uncovered_weight <= 4
+
+    def test_negative_z_rejected(self, small_blobs):
+        solver = OutliersClusterSolver(_unit_coreset(small_blobs), k=3)
+        with pytest.raises(InvalidParameterError):
+            search_radius(solver, z=-1)
+
+    def test_weighted_coreset_budget_respected(self):
+        # Heavy far-away point cannot be declared an outlier if z is smaller
+        # than its weight, so the radius must stretch to cover it.
+        points = np.array([[0.0], [1.0], [100.0]])
+        light = WeightedPoints(points=points, weights=np.array([1.0, 1.0, 1.0]))
+        heavy = WeightedPoints(points=points, weights=np.array([1.0, 1.0, 10.0]))
+        light_result = search_radius(OutliersClusterSolver(light, k=1, eps_hat=0.0), z=1)
+        heavy_result = search_radius(OutliersClusterSolver(heavy, k=1, eps_hat=0.0), z=1)
+        assert heavy_result.radius > light_result.radius

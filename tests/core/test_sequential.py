@@ -1,0 +1,89 @@
+"""Tests for repro.core.sequential."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SequentialKCenter, SequentialKCenterOutliers
+from repro.evaluation import (
+    optimal_kcenter_radius,
+    optimal_kcenter_with_outliers_radius,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestSequentialKCenter:
+    def test_basic_run(self, small_blobs):
+        result = SequentialKCenter(5).fit(small_blobs)
+        assert result.k == 5
+        assert result.radius > 0
+        assert result.coreset_size == 5
+        assert result.outlier_indices.size == 0
+
+    def test_two_approximation(self, rng):
+        points = rng.normal(size=(16, 2))
+        result = SequentialKCenter(3).fit(points)
+        assert result.radius <= 2.0 * optimal_kcenter_radius(points, 3) + 1e-9
+
+    def test_k_too_large(self, small_blobs):
+        with pytest.raises(InvalidParameterError):
+            SequentialKCenter(small_blobs.shape[0] + 1).fit(small_blobs)
+
+    def test_centers_are_input_points(self, small_blobs):
+        result = SequentialKCenter(4).fit(small_blobs)
+        np.testing.assert_allclose(result.centers, small_blobs[result.center_indices])
+
+
+class TestSequentialKCenterOutliers:
+    def test_basic_run(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        result = SequentialKCenterOutliers(5, z, coreset_multiplier=4, random_state=0).fit(data)
+        assert result.k <= 5
+        assert result.radius <= result.radius_all_points
+        assert result.outlier_indices.shape == (z,)
+
+    def test_identifies_planted_outliers(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        result = SequentialKCenterOutliers(5, z, coreset_multiplier=8, random_state=0).fit(data)
+        # The z points the solution discards should be exactly the planted ones.
+        assert set(result.outlier_indices) == set(blobs_with_outliers.outlier_indices)
+
+    def test_radius_excludes_planted_outliers(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        result = SequentialKCenterOutliers(5, z, coreset_multiplier=4, random_state=0).fit(data)
+        # The planted outliers are ~100 MEB radii away; excluding them the
+        # radius must be comparable to the clean data's spread, i.e. far
+        # smaller than the all-points radius.
+        assert result.radius < result.radius_all_points / 10.0
+
+    def test_approximation_on_tiny_instance(self, rng):
+        points = rng.normal(size=(14, 2))
+        points[0] += 30.0
+        k, z = 3, 1
+        result = SequentialKCenterOutliers(k, z, epsilon=0.5, random_state=0).fit(points)
+        optimum = optimal_kcenter_with_outliers_radius(points, k, z)
+        # Theorem 2 gives 3 + eps; allow a small numerical slack.
+        assert result.radius <= (3.0 + 0.5) * optimum + 1e-9
+
+    def test_zero_outliers_allowed(self, small_blobs):
+        result = SequentialKCenterOutliers(4, 0, coreset_multiplier=2).fit(small_blobs)
+        assert result.radius == pytest.approx(result.radius_all_points)
+
+    def test_mutually_exclusive_knobs(self):
+        with pytest.raises(InvalidParameterError):
+            SequentialKCenterOutliers(3, 2, epsilon=0.5, coreset_multiplier=2)
+
+    def test_z_too_large(self, small_blobs):
+        with pytest.raises(InvalidParameterError):
+            SequentialKCenterOutliers(3, small_blobs.shape[0]).fit(small_blobs)
+
+    def test_larger_coreset_not_worse(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        small = SequentialKCenterOutliers(5, z, coreset_multiplier=1, random_state=0).fit(data)
+        large = SequentialKCenterOutliers(5, z, coreset_multiplier=8, random_state=0).fit(data)
+        assert large.radius <= small.radius * 1.5 + 1e-9

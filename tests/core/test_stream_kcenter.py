@@ -1,0 +1,88 @@
+"""Tests for repro.core.stream_kcenter (CORESETSTREAM)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CoresetStreamKCenter, clustering_radius, gmm_select, streaming_coreset_size
+from repro.exceptions import InvalidParameterError
+from repro.streaming import ArrayStream, StreamingRunner
+
+
+class TestStreamingCoresetSize:
+    def test_outlier_formula(self):
+        size = streaming_coreset_size(5, 10, epsilon=1.0, doubling_dimension=0)
+        assert size == 15
+
+    def test_grows_with_dimension(self):
+        low = streaming_coreset_size(5, 10, epsilon=0.5, doubling_dimension=1)
+        high = streaming_coreset_size(5, 10, epsilon=0.5, doubling_dimension=2)
+        assert high > low
+
+    def test_without_outliers(self):
+        assert streaming_coreset_size(5, 0, epsilon=1.0, doubling_dimension=0, with_outliers=False) == 5
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            streaming_coreset_size(5, 0, epsilon=0.0, doubling_dimension=1)
+
+
+class TestCoresetStreamKCenter:
+    def test_configuration_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CoresetStreamKCenter(5, coreset_multiplier=0.5)
+        with pytest.raises(InvalidParameterError):
+            CoresetStreamKCenter(5, coreset_size=3)
+
+    def test_explicit_coreset_size(self):
+        algorithm = CoresetStreamKCenter(5, coreset_size=17)
+        assert algorithm.coreset_size == 17
+
+    def test_returns_k_centers(self, medium_blobs):
+        algorithm = CoresetStreamKCenter(6, coreset_multiplier=4)
+        report = StreamingRunner().run(algorithm, ArrayStream(medium_blobs))
+        assert report.result.centers.shape == (6, medium_blobs.shape[1])
+        assert report.result.n_processed == medium_blobs.shape[0]
+
+    def test_memory_bounded_by_coreset_size(self, medium_blobs):
+        algorithm = CoresetStreamKCenter(6, coreset_multiplier=4)
+        report = StreamingRunner().run(algorithm, ArrayStream(medium_blobs))
+        assert report.peak_memory <= algorithm.coreset_size + 1
+
+    def test_short_stream(self):
+        points = np.arange(4, dtype=float).reshape(-1, 1)
+        algorithm = CoresetStreamKCenter(6, coreset_multiplier=2)
+        report = StreamingRunner().run(algorithm, ArrayStream(points))
+        assert report.result.centers.shape[0] <= 4
+
+    def test_quality_close_to_offline_gmm(self, medium_blobs):
+        # The streaming solution cannot beat offline GMM by much nor be
+        # wildly worse on a well-clustered instance with a generous coreset.
+        k = 8
+        algorithm = CoresetStreamKCenter(k, coreset_multiplier=16, random_state=0)
+        report = StreamingRunner().run(
+            algorithm, ArrayStream(medium_blobs, shuffle=True, random_state=0)
+        )
+        streaming_radius = clustering_radius(medium_blobs, report.result.centers)
+        offline_radius = gmm_select(medium_blobs, k).radius
+        assert streaming_radius <= 4.0 * offline_radius + 1e-9
+
+    def test_larger_coreset_tightens_coverage_bound(self, medium_blobs):
+        # A larger coreset budget keeps phi (and hence the 8*phi coverage
+        # bound every stream point enjoys) smaller — the space/accuracy
+        # trade-off the paper's streaming analysis is built on.
+        k = 8
+        bounds = {}
+        for mu in (1, 16):
+            algorithm = CoresetStreamKCenter(k, coreset_multiplier=mu, random_state=0)
+            report = StreamingRunner().run(
+                algorithm, ArrayStream(medium_blobs, shuffle=True, random_state=3)
+            )
+            bounds[mu] = report.result.coreset_radius_bound
+        assert bounds[16] <= bounds[1] + 1e-9
+
+    def test_coreset_radius_bound_reported(self, medium_blobs):
+        algorithm = CoresetStreamKCenter(5, coreset_multiplier=4)
+        report = StreamingRunner().run(algorithm, ArrayStream(medium_blobs))
+        assert report.result.coreset_radius_bound >= 0

@@ -1,0 +1,98 @@
+"""Tests for repro.datasets.files (CSV loading with the paper's preprocessing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_higgs_csv, load_numeric_csv, load_power_csv
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def numeric_csv(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("1.0,2.0,3.0\n4.0,5.0,6.0\n7.0,8.0,9.0\n")
+    return path
+
+
+@pytest.fixture
+def higgs_csv(tmp_path):
+    # label + 21 low-level + 7 derived features = 29 columns.
+    rows = []
+    for i in range(4):
+        row = [str(i % 2)] + [f"{0.1 * j + i:.3f}" for j in range(21)] + [
+            f"{10.0 + j + i:.3f}" for j in range(7)
+        ]
+        rows.append(",".join(row))
+    path = tmp_path / "higgs.csv"
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+@pytest.fixture
+def power_csv(tmp_path):
+    header = "Date;Time;Global_active_power;Global_reactive_power;Voltage;Global_intensity;Sub_metering_1;Sub_metering_2;Sub_metering_3"
+    rows = [
+        "16/12/2006;17:24:00;4.216;0.418;234.840;18.400;0.000;1.000;17.000",
+        "16/12/2006;17:25:00;?;?;?;?;?;?;?",  # missing row, must be dropped
+        "16/12/2006;17:26:00;5.360;0.436;233.630;23.000;0.000;2.000;16.000",
+    ]
+    path = tmp_path / "power.txt"
+    path.write_text(header + "\n" + "\n".join(rows) + "\n")
+    return path
+
+
+class TestLoadNumericCsv:
+    def test_loads_all_columns(self, numeric_csv):
+        data = load_numeric_csv(numeric_csv)
+        assert data.shape == (3, 3)
+        assert data[1, 2] == pytest.approx(6.0)
+
+    def test_column_selection(self, numeric_csv):
+        data = load_numeric_csv(numeric_csv, columns=(0, 2))
+        assert data.shape == (3, 2)
+        np.testing.assert_allclose(data[0], [1.0, 3.0])
+
+    def test_max_rows(self, numeric_csv):
+        data = load_numeric_csv(numeric_csv, max_rows=2)
+        assert data.shape == (2, 3)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_numeric_csv(tmp_path / "nope.csv")
+
+    def test_unparseable_value(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,hello\n")
+        with pytest.raises(DatasetError):
+            load_numeric_csv(path)
+
+    def test_all_rows_missing(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("?,?\n?,?\n")
+        with pytest.raises(DatasetError):
+            load_numeric_csv(path)
+
+    def test_drop_missing_false_raises(self, tmp_path):
+        path = tmp_path / "missing.csv"
+        path.write_text("1.0,?\n")
+        with pytest.raises(DatasetError):
+            load_numeric_csv(path, drop_missing=False)
+
+
+class TestPaperLoaders:
+    def test_higgs_keeps_only_derived_features(self, higgs_csv):
+        data = load_higgs_csv(higgs_csv)
+        assert data.shape == (4, 7)
+        # The derived features of the fixture start at 10.0.
+        assert data.min() >= 10.0
+
+    def test_higgs_max_rows(self, higgs_csv):
+        assert load_higgs_csv(higgs_csv, max_rows=2).shape == (2, 7)
+
+    def test_power_drops_missing_and_non_numeric_columns(self, power_csv):
+        data = load_power_csv(power_csv)
+        assert data.shape == (2, 7)
+        assert data[0, 0] == pytest.approx(4.216)
+        assert data[1, 2] == pytest.approx(233.630)

@@ -1,0 +1,72 @@
+"""Tests for repro.datasets.inflation (SMOTE-style scalability instances)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import coordinate_noise_scale, inflate, inflate_streaming
+from repro.exceptions import InvalidParameterError
+
+
+class TestCoordinateNoiseScale:
+    def test_ten_percent_of_range(self):
+        points = np.array([[0.0, 0.0], [10.0, 100.0]])
+        scale = coordinate_noise_scale(points)
+        np.testing.assert_allclose(scale, [1.0, 10.0])
+
+    def test_constant_feature_gets_zero_noise(self):
+        points = np.array([[1.0, 5.0], [2.0, 5.0]])
+        scale = coordinate_noise_scale(points)
+        assert scale[1] == pytest.approx(0.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(InvalidParameterError):
+            coordinate_noise_scale(np.ones((3, 2)), fraction=0.0)
+
+
+class TestInflate:
+    def test_factor_one_returns_copy(self, small_blobs):
+        inflated = inflate(small_blobs, 1.0, random_state=0)
+        np.testing.assert_allclose(inflated, small_blobs)
+        inflated[0, 0] = 1e9
+        assert small_blobs[0, 0] != 1e9
+
+    def test_size(self, small_blobs):
+        inflated = inflate(small_blobs, 3.0, random_state=0)
+        assert inflated.shape[0] == 3 * small_blobs.shape[0]
+        assert inflated.shape[1] == small_blobs.shape[1]
+
+    def test_original_points_included_first(self, small_blobs):
+        inflated = inflate(small_blobs, 2.0, random_state=0)
+        np.testing.assert_allclose(inflated[: small_blobs.shape[0]], small_blobs)
+
+    def test_synthetic_points_stay_near_data(self, small_blobs):
+        inflated = inflate(small_blobs, 2.0, random_state=0)
+        synthetic = inflated[small_blobs.shape[0]:]
+        lower = small_blobs.min(axis=0)
+        upper = small_blobs.max(axis=0)
+        margin = (upper - lower) * 1.0  # generous: noise std is 10% of range
+        assert np.all(synthetic >= lower - margin)
+        assert np.all(synthetic <= upper + margin)
+
+    def test_factor_below_one_raises(self, small_blobs):
+        with pytest.raises(InvalidParameterError):
+            inflate(small_blobs, 0.5)
+
+
+class TestInflateStreaming:
+    def test_matches_total_size(self, small_blobs):
+        batches = list(inflate_streaming(small_blobs, 2.5, batch_size=64, random_state=0))
+        total = sum(batch.shape[0] for batch in batches)
+        assert total == int(round(2.5 * small_blobs.shape[0]))
+
+    def test_first_batches_replay_original(self, small_blobs):
+        batches = list(inflate_streaming(small_blobs, 2.0, batch_size=50, random_state=0))
+        replay = np.vstack(batches)[: small_blobs.shape[0]]
+        np.testing.assert_allclose(replay, small_blobs)
+
+    def test_factor_one_only_replays(self, small_blobs):
+        batches = list(inflate_streaming(small_blobs, 1.0, batch_size=50, random_state=0))
+        total = sum(batch.shape[0] for batch in batches)
+        assert total == small_blobs.shape[0]

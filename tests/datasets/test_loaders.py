@@ -1,0 +1,53 @@
+"""Tests for repro.datasets.loaders (paper-dataset stand-ins)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PAPER_DATASETS,
+    higgs_like,
+    load_paper_dataset,
+    power_like,
+    wiki_like,
+)
+
+
+class TestLoaders:
+    def test_higgs_like_dimension(self):
+        points = higgs_like(500, random_state=0)
+        assert points.shape == (500, 7)
+        assert np.all(np.isfinite(points))
+
+    def test_power_like_dimension(self):
+        points = power_like(500, random_state=0)
+        assert points.shape == (500, 7)
+        assert np.all(np.isfinite(points))
+
+    def test_wiki_like_dimension(self):
+        points = wiki_like(300, random_state=0)
+        assert points.shape == (300, 50)
+        assert np.all(np.isfinite(points))
+
+    def test_wiki_like_norm_scale(self):
+        points = wiki_like(300, random_state=0)
+        norms = np.linalg.norm(points, axis=1)
+        # Rows are rescaled to a norm around 5 (word2vec-like shell).
+        assert 2.0 < norms.mean() < 8.0
+
+    def test_reproducibility(self):
+        a = power_like(100, random_state=5)
+        b = power_like(100, random_state=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_registry_contains_all(self):
+        assert set(PAPER_DATASETS) == {"higgs", "power", "wiki"}
+
+    def test_load_by_name(self):
+        points = load_paper_dataset("HIGGS", 200, random_state=0)
+        assert points.shape == (200, 7)
+
+    def test_load_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_paper_dataset("mnist", 10)

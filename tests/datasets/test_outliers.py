@@ -1,0 +1,76 @@
+"""Tests for repro.datasets.outliers (the paper's outlier-injection procedure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import inject_outliers
+from repro.exceptions import InvalidParameterError
+from repro.metricspace import minimum_enclosing_ball
+
+
+class TestInjectOutliers:
+    def test_counts(self, small_blobs):
+        injection = inject_outliers(small_blobs, 10, random_state=0)
+        assert injection.points.shape[0] == small_blobs.shape[0] + 10
+        assert injection.n_outliers == 10
+        assert injection.outlier_indices.shape == (10,)
+
+    def test_zero_outliers(self, small_blobs):
+        injection = inject_outliers(small_blobs, 0, random_state=0)
+        assert injection.points.shape == small_blobs.shape
+        assert injection.n_outliers == 0
+
+    def test_outliers_are_far_from_data(self, small_blobs):
+        injection = inject_outliers(small_blobs, 8, random_state=1)
+        mask = injection.outlier_mask()
+        originals = injection.points[~mask]
+        planted = injection.points[mask]
+        ball = minimum_enclosing_ball(originals)
+        for point in planted:
+            distances = np.linalg.norm(originals - point, axis=1)
+            # Paper's construction guarantees distance >= 99 * r_MEB.
+            assert distances.min() >= 90.0 * ball.radius
+
+    def test_outliers_mutually_separated(self, small_blobs):
+        injection = inject_outliers(small_blobs, 8, random_state=2)
+        planted = injection.points[injection.outlier_mask()]
+        for i in range(planted.shape[0]):
+            for j in range(i + 1, planted.shape[0]):
+                separation = np.linalg.norm(planted[i] - planted[j])
+                assert separation >= 10.0 * injection.meb_radius - 1e-6
+
+    def test_shuffle_false_appends_at_end(self, small_blobs):
+        injection = inject_outliers(small_blobs, 5, shuffle=False, random_state=0)
+        expected = np.arange(small_blobs.shape[0], small_blobs.shape[0] + 5)
+        np.testing.assert_array_equal(injection.outlier_indices, expected)
+        np.testing.assert_allclose(injection.points[: small_blobs.shape[0]], small_blobs)
+
+    def test_outlier_mask_matches_indices(self, small_blobs):
+        injection = inject_outliers(small_blobs, 6, random_state=3)
+        mask = injection.outlier_mask()
+        np.testing.assert_array_equal(np.flatnonzero(mask), injection.outlier_indices)
+
+    def test_reproducible(self, small_blobs):
+        a = inject_outliers(small_blobs, 7, random_state=9)
+        b = inject_outliers(small_blobs, 7, random_state=9)
+        np.testing.assert_allclose(a.points, b.points)
+        np.testing.assert_array_equal(a.outlier_indices, b.outlier_indices)
+
+    def test_invalid_distance_factor(self, small_blobs):
+        with pytest.raises(InvalidParameterError):
+            inject_outliers(small_blobs, 3, distance_factor=0.5)
+
+    def test_impossible_separation_raises(self, small_blobs):
+        # Demanding separation larger than the diameter of the sphere the
+        # outliers live on cannot be satisfied.
+        with pytest.raises(InvalidParameterError):
+            inject_outliers(
+                small_blobs,
+                50,
+                distance_factor=2.0,
+                min_separation_factor=100.0,
+                max_attempts=3,
+                random_state=0,
+            )

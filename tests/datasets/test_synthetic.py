@@ -1,0 +1,120 @@
+"""Tests for repro.datasets.synthetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    GaussianMixtureSpec,
+    annulus,
+    clustered_with_noise,
+    gaussian_mixture,
+    points_on_manifold,
+    uniform_hypercube,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestGaussianMixtureSpec:
+    def test_valid_spec(self):
+        spec = GaussianMixtureSpec(n_clusters=3, dimension=2)
+        assert spec.n_clusters == 3
+
+    def test_invalid_cluster_std(self):
+        with pytest.raises(InvalidParameterError):
+            GaussianMixtureSpec(n_clusters=3, dimension=2, cluster_std=0.0)
+
+    def test_weights_normalised(self):
+        spec = GaussianMixtureSpec(n_clusters=2, dimension=1, weights=(1.0, 3.0))
+        assert sum(spec.weights) == pytest.approx(1.0)
+
+    def test_invalid_weights_length(self):
+        with pytest.raises(InvalidParameterError):
+            GaussianMixtureSpec(n_clusters=3, dimension=1, weights=(0.5, 0.5))
+
+
+class TestGaussianMixture:
+    def test_shape(self):
+        spec = GaussianMixtureSpec(n_clusters=4, dimension=3)
+        points = gaussian_mixture(100, spec, random_state=0)
+        assert points.shape == (100, 3)
+
+    def test_reproducible(self):
+        spec = GaussianMixtureSpec(n_clusters=4, dimension=3)
+        a = gaussian_mixture(50, spec, random_state=42)
+        b = gaussian_mixture(50, spec, random_state=42)
+        np.testing.assert_allclose(a, b)
+
+    def test_labels_returned(self):
+        spec = GaussianMixtureSpec(n_clusters=4, dimension=2)
+        points, labels = gaussian_mixture(80, spec, random_state=0, return_labels=True)
+        assert labels.shape == (80,)
+        assert set(np.unique(labels)).issubset(set(range(4)))
+
+    def test_weighted_components(self):
+        spec = GaussianMixtureSpec(n_clusters=2, dimension=1, weights=(0.95, 0.05))
+        _, labels = gaussian_mixture(1000, spec, random_state=0, return_labels=True)
+        assert (labels == 0).sum() > (labels == 1).sum()
+
+
+class TestUniformHypercube:
+    def test_bounds(self):
+        points = uniform_hypercube(200, 4, side=2.0, random_state=0)
+        assert points.shape == (200, 4)
+        assert points.min() >= 0.0
+        assert points.max() <= 2.0
+
+    def test_invalid_side(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_hypercube(10, 2, side=-1.0)
+
+
+class TestClusteredWithNoise:
+    def test_shape_and_fraction(self):
+        points = clustered_with_noise(500, 5, 2, noise_fraction=0.1, random_state=0)
+        assert points.shape == (500, 2)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(InvalidParameterError):
+            clustered_with_noise(100, 3, 2, noise_fraction=1.0)
+
+    def test_zero_noise(self):
+        points = clustered_with_noise(100, 3, 2, noise_fraction=0.0, random_state=0)
+        assert points.shape == (100, 2)
+
+
+class TestPointsOnManifold:
+    def test_shape(self):
+        points = points_on_manifold(100, 2, 8, random_state=0)
+        assert points.shape == (100, 8)
+
+    def test_zero_noise_lies_on_subspace(self):
+        points = points_on_manifold(200, 2, 6, noise_std=0.0, random_state=0)
+        # Rank of the point cloud should be (at most) the intrinsic dimension.
+        rank = np.linalg.matrix_rank(points - points.mean(axis=0), tol=1e-6)
+        assert rank <= 2
+
+    def test_intrinsic_larger_than_ambient_raises(self):
+        with pytest.raises(InvalidParameterError):
+            points_on_manifold(10, 5, 3)
+
+
+class TestAnnulus:
+    def test_radii_within_ring(self):
+        points = annulus(300, inner_radius=4.0, outer_radius=6.0, random_state=0)
+        radii = np.linalg.norm(points, axis=1)
+        assert radii.min() >= 4.0 - 1e-9
+        assert radii.max() <= 6.0 + 1e-9
+
+    def test_planted_outliers_are_far(self):
+        points = annulus(
+            100, inner_radius=1.0, outer_radius=2.0, n_planted_outliers=5,
+            outlier_distance=100.0, random_state=0,
+        )
+        radii = np.linalg.norm(points, axis=1)
+        assert (radii > 50).sum() == 5
+
+    def test_invalid_ring(self):
+        with pytest.raises(InvalidParameterError):
+            annulus(10, inner_radius=3.0, outer_radius=2.0)

@@ -1,0 +1,70 @@
+"""Tests for repro.evaluation.brute_force."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    optimal_kcenter_radius,
+    optimal_kcenter_with_outliers_radius,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestOptimalKCenter:
+    def test_hand_computed_instance(self):
+        # Points 0, 1, 10 with k=2: best is {0 or 1, 10} with radius 1... but
+        # choosing centers {1, 10} covers 0 at distance 1; radius 1.
+        points = np.array([[0.0], [1.0], [10.0]])
+        assert optimal_kcenter_radius(points, 2) == pytest.approx(1.0)
+
+    def test_k_equals_n(self):
+        points = np.array([[0.0], [5.0], [9.0]])
+        assert optimal_kcenter_radius(points, 3) == pytest.approx(0.0)
+
+    def test_k_one_is_min_over_centers(self):
+        points = np.array([[0.0], [4.0], [10.0]])
+        # Best single center restricted to the points is 4 -> radius 6.
+        assert optimal_kcenter_radius(points, 1) == pytest.approx(6.0)
+
+    def test_monotone_in_k(self, rng):
+        points = rng.normal(size=(12, 2))
+        radii = [optimal_kcenter_radius(points, k) for k in (1, 2, 3, 4)]
+        assert all(radii[i] >= radii[i + 1] - 1e-12 for i in range(3))
+
+    def test_too_many_points_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            optimal_kcenter_radius(rng.normal(size=(100, 2)), 3)
+
+
+class TestOptimalKCenterWithOutliers:
+    def test_outlier_discarded(self):
+        points = np.array([[0.0], [1.0], [2.0], [100.0]])
+        # With one outlier allowed, the far point is dropped: centers {1}
+        # cover the rest with radius 1.
+        assert optimal_kcenter_with_outliers_radius(points, 1, 1) == pytest.approx(1.0)
+
+    def test_zero_outliers_matches_plain(self, rng):
+        points = rng.normal(size=(10, 2))
+        plain = optimal_kcenter_radius(points, 2)
+        with_zero = optimal_kcenter_with_outliers_radius(points, 2, 0)
+        assert plain == pytest.approx(with_zero)
+
+    def test_monotone_in_z(self, rng):
+        points = rng.normal(size=(11, 2))
+        radii = [optimal_kcenter_with_outliers_radius(points, 2, z) for z in (0, 1, 2, 3)]
+        assert all(radii[i] >= radii[i + 1] - 1e-12 for i in range(3))
+
+    def test_equation_1_relation(self, rng):
+        # r*_{k+z}(S) <= r*_{k,z}(S) (Equation 1 of the paper).
+        points = rng.normal(size=(10, 2))
+        k, z = 2, 2
+        lhs = optimal_kcenter_radius(points, k + z)
+        rhs = optimal_kcenter_with_outliers_radius(points, k, z)
+        assert lhs <= rhs + 1e-12
+
+    def test_z_too_large_rejected(self):
+        points = np.zeros((4, 1))
+        with pytest.raises(InvalidParameterError):
+            optimal_kcenter_with_outliers_radius(points, 1, 4)

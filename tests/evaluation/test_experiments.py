@@ -1,0 +1,134 @@
+"""Tests for repro.evaluation.experiments (the figure drivers, at toy scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import higgs_like, power_like
+from repro.evaluation import (
+    ablation_coreset_stopping,
+    ablation_partitioning,
+    default_datasets,
+    figure2_mr_kcenter,
+    figure3_stream_kcenter,
+    figure4_mr_outliers,
+    figure5_stream_outliers,
+    figure6_scaling_size,
+    figure7_scaling_processors,
+    figure8_sequential,
+)
+
+
+@pytest.fixture(scope="module")
+def toy_datasets():
+    """Very small stand-ins so every driver runs in a few seconds."""
+    return {
+        "higgs": higgs_like(400, random_state=0),
+        "power": power_like(400, random_state=1),
+    }
+
+
+TOY_K = {"higgs": 8, "power": 8}
+
+
+class TestDefaultDatasets:
+    def test_names_and_sizes(self):
+        datasets = default_datasets(n_points=100, random_state=0)
+        assert set(datasets) == {"higgs", "power", "wiki"}
+        assert all(points.shape[0] == 100 for points in datasets.values())
+
+    def test_subset_of_names(self):
+        datasets = default_datasets(n_points=50, names=("power",), random_state=0)
+        assert set(datasets) == {"power"}
+
+
+class TestFigureDrivers:
+    def test_figure2_shape_and_ratios(self, toy_datasets):
+        records = figure2_mr_kcenter(
+            toy_datasets, k_values=TOY_K, multipliers=(1, 4), ells=(2, 4), random_state=0
+        )
+        assert len(records) == len(toy_datasets) * 2 * 2
+        assert all(record["ratio"] >= 1.0 for record in records)
+        assert all(record["coreset_size"] > 0 for record in records)
+
+    def test_figure3_contains_both_algorithms(self, toy_datasets):
+        records = figure3_stream_kcenter(
+            toy_datasets, k_values=TOY_K, multipliers=(1, 4), base_instances=(1, 2), random_state=0
+        )
+        algorithms = {record["algorithm"] for record in records}
+        assert algorithms == {"CoresetStream", "BaseStream"}
+        assert all(record["throughput"] > 0 for record in records)
+
+    def test_figure4_variants_and_improvement(self, toy_datasets):
+        records = figure4_mr_outliers(
+            toy_datasets, k=5, z=20, ell=4, multipliers=(1, 4), random_state=0
+        )
+        variants = {record["variant"] for record in records}
+        assert variants == {"deterministic", "randomized"}
+        assert all(record["ratio"] >= 1.0 for record in records)
+
+    def test_figure5_space_grows_with_mu(self, toy_datasets):
+        records = figure5_stream_outliers(
+            toy_datasets,
+            k=5,
+            z=20,
+            multipliers=(1, 4),
+            base_instances=(1,),
+            base_buffer_capacity=60,
+            random_state=0,
+        )
+        coreset_records = [r for r in records if r["algorithm"] == "CoresetOutliers"]
+        by_dataset: dict = {}
+        for record in coreset_records:
+            by_dataset.setdefault(record["dataset"], {})[record["space_param"]] = record["space"]
+        for spaces in by_dataset.values():
+            assert spaces[4] > spaces[1]
+
+    def test_figure6_scaling_records(self, toy_datasets):
+        records = figure6_scaling_size(
+            {"power": toy_datasets["power"][:200]},
+            k=5,
+            z=10,
+            ell=4,
+            mu=2,
+            size_factors=(1, 2),
+            random_state=0,
+        )
+        assert len(records) == 2
+        assert records[1]["n_points"] > records[0]["n_points"]
+
+    def test_figure7_union_size_constant(self, toy_datasets):
+        records = figure7_scaling_processors(
+            {"power": toy_datasets["power"]}, k=5, z=20, ells=(1, 2, 4), random_state=0
+        )
+        union_sizes = {record["union_coreset_size"] for record in records}
+        # Rounding means sizes are close but not identical across ell.
+        assert max(union_sizes) - min(union_sizes) <= len(union_sizes) * 8
+        assert all(record["coreset_time_parallel_s"] <= record["coreset_time_total_s"] + 1e-9
+                   for record in records)
+
+    def test_figure8_contains_all_algorithms(self, toy_datasets):
+        records = figure8_sequential(
+            {"higgs": toy_datasets["higgs"]}, k=5, z=20, multipliers=(2,), sample_size=300, random_state=0
+        )
+        algorithms = {record["algorithm"] for record in records}
+        assert algorithms == {"CharikarEtAl", "MalkomesEtAl", "Ours(mu=2)"}
+        assert all(record["time_s"] >= 0 for record in records)
+
+
+class TestAblations:
+    def test_coreset_stopping(self):
+        points = higgs_like(400, random_state=2)
+        records = ablation_coreset_stopping(
+            points, k=5, epsilons=(1.0, 0.5), multipliers=(1, 4), ell=4, random_state=0
+        )
+        rules = {record["rule"] for record in records}
+        assert rules == {"epsilon", "mu"}
+
+    def test_partitioning(self):
+        points = power_like(400, random_state=3)
+        records = ablation_partitioning(points, k=5, z=15, ell=4, mu=2, random_state=0)
+        assert len(records) == 4
+        labels = {record["configuration"] for record in records}
+        assert "randomized" in labels

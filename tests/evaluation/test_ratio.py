@@ -1,0 +1,61 @@
+"""Tests for repro.evaluation.ratio."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import BestRadiusRegistry, approximation_ratios
+from repro.exceptions import InvalidParameterError
+
+
+class TestBestRadiusRegistry:
+    def test_tracks_minimum(self):
+        registry = BestRadiusRegistry()
+        registry.record("cfg", 5.0)
+        registry.record("cfg", 3.0)
+        registry.record("cfg", 4.0)
+        assert registry.best("cfg") == 3.0
+
+    def test_ratio(self):
+        registry = BestRadiusRegistry()
+        registry.record("cfg", 2.0)
+        assert registry.ratio("cfg", 3.0) == pytest.approx(1.5)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            BestRadiusRegistry().best("missing")
+
+    def test_invalid_radius(self):
+        with pytest.raises(InvalidParameterError):
+            BestRadiusRegistry().record("cfg", -1.0)
+
+    def test_zero_best_radius(self):
+        registry = BestRadiusRegistry()
+        registry.record("cfg", 0.0)
+        assert registry.ratio("cfg", 0.0) == 1.0
+        assert registry.ratio("cfg", 1.0) == float("inf")
+
+    def test_keys(self):
+        registry = BestRadiusRegistry()
+        registry.record("a", 1.0)
+        registry.record("b", 2.0)
+        assert set(registry.keys()) == {"a", "b"}
+
+
+class TestApproximationRatios:
+    def test_relative_to_minimum(self):
+        ratios = approximation_ratios({"x": 2.0, "y": 4.0})
+        assert ratios["x"] == pytest.approx(1.0)
+        assert ratios["y"] == pytest.approx(2.0)
+
+    def test_external_best(self):
+        ratios = approximation_ratios({"x": 2.0}, best=1.0)
+        assert ratios["x"] == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert approximation_ratios({}) == {}
+
+    def test_zero_reference(self):
+        ratios = approximation_ratios({"x": 0.0, "y": 1.0})
+        assert ratios["x"] == 1.0
+        assert ratios["y"] == float("inf")

@@ -1,0 +1,56 @@
+"""Tests for repro.evaluation.reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import format_records, format_table, summarize_series
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        table = format_table(["name", "value"], [["a", 1.5], ["bb", 2.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "bb" in lines[3]
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[0.000001], [123456.0], [0.5]])
+        assert "e" in table  # scientific notation for extreme magnitudes
+        assert "0.500" in table
+
+    def test_zero_rendered_plainly(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+
+class TestFormatRecords:
+    def test_uses_first_record_keys(self):
+        records = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+        text = format_records(records)
+        assert text.splitlines()[0].startswith("a")
+
+    def test_explicit_columns(self):
+        records = [{"a": 1, "b": 2}]
+        text = format_records(records, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_column_blank(self):
+        records = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_records(records, columns=["a", "b"])
+        assert "3" in text
+
+    def test_empty_records(self):
+        assert format_records([]) == "(no records)"
+
+
+class TestSummarizeSeries:
+    def test_group_means(self):
+        records = [
+            {"mu": 1, "ratio": 1.2},
+            {"mu": 1, "ratio": 1.4},
+            {"mu": 2, "ratio": 1.1},
+        ]
+        summary = summarize_series(records, group_by="mu", value="ratio")
+        assert summary[1] == pytest.approx(1.3)
+        assert summary[2] == pytest.approx(1.1)

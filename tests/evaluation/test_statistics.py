@@ -1,0 +1,68 @@
+"""Tests for repro.evaluation.statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import mean_confidence_interval, repeat_runs
+from repro.exceptions import InvalidParameterError
+
+
+class TestMeanConfidenceInterval:
+    def test_basic_values(self):
+        stats = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.n_samples == 3
+        assert stats.lower < 2.0 < stats.upper
+
+    def test_single_sample_has_zero_width(self):
+        stats = mean_confidence_interval([5.0])
+        assert stats.half_width == 0.0
+        assert stats.lower == stats.upper == 5.0
+
+    def test_constant_samples_have_zero_width(self):
+        stats = mean_confidence_interval([4.0] * 10)
+        assert stats.half_width == pytest.approx(0.0)
+
+    def test_width_shrinks_with_more_samples(self):
+        rng = np.random.default_rng(0)
+        small = mean_confidence_interval(rng.normal(size=10))
+        large = mean_confidence_interval(rng.normal(size=1000))
+        assert large.half_width < small.half_width
+
+    def test_higher_confidence_wider_interval(self):
+        values = list(np.random.default_rng(1).normal(size=30))
+        narrow = mean_confidence_interval(values, confidence=0.90)
+        wide = mean_confidence_interval(values, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            mean_confidence_interval([])
+
+    def test_unsupported_confidence(self):
+        with pytest.raises(InvalidParameterError):
+            mean_confidence_interval([1.0, 2.0], confidence=0.5)
+
+
+class TestRepeatRuns:
+    def test_runs_with_seeds(self):
+        seen = []
+
+        def run(seed):
+            seen.append(seed)
+            return seed * 2.0
+
+        stats = repeat_runs(run, n_runs=5)
+        assert seen == [0, 1, 2, 3, 4]
+        assert stats.mean == pytest.approx(4.0)
+
+    def test_extract_field(self):
+        stats = repeat_runs(lambda seed: {"radius": 1.0 + seed}, n_runs=3,
+                            extract=lambda result: result["radius"])
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_invalid_n_runs(self):
+        with pytest.raises(InvalidParameterError):
+            repeat_runs(lambda seed: 1.0, n_runs=0)

@@ -1,0 +1,119 @@
+"""Integration tests: end-to-end approximation guarantees on small instances.
+
+These tests verify the paper's headline theorems against brute-force
+optima computed by :mod:`repro.evaluation.brute_force`: every solver, run
+end to end through its real entry point (MapReduce runtime, streaming
+runner, sequential driver), must respect its stated approximation factor
+(with the usual numerical slack).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import CharikarKCenterOutliers
+from repro.core import (
+    CoresetStreamOutliers,
+    MapReduceKCenter,
+    MapReduceKCenterOutliers,
+    SequentialKCenter,
+    SequentialKCenterOutliers,
+    clustering_radius,
+    radius_with_outliers,
+)
+from repro.evaluation import (
+    optimal_kcenter_radius,
+    optimal_kcenter_with_outliers_radius,
+)
+from repro.streaming import ArrayStream, StreamingRunner
+
+
+@pytest.fixture(scope="module")
+def tiny_instance():
+    """A 22-point instance with two obvious outliers, small enough for brute force."""
+    rng = np.random.default_rng(31)
+    core = np.vstack(
+        [
+            rng.normal(loc=[0, 0], scale=0.5, size=(7, 2)),
+            rng.normal(loc=[10, 0], scale=0.5, size=(7, 2)),
+            rng.normal(loc=[0, 10], scale=0.5, size=(6, 2)),
+        ]
+    )
+    outliers = np.array([[200.0, 200.0], [-180.0, 150.0]])
+    points = np.vstack([core, outliers])
+    return points
+
+
+K, Z, EPSILON = 3, 2, 1.0
+
+
+class TestKCenterBounds:
+    def test_sequential_gmm(self, tiny_instance):
+        optimum = optimal_kcenter_radius(tiny_instance, K)
+        result = SequentialKCenter(K).fit(tiny_instance)
+        assert result.radius <= 2.0 * optimum + 1e-9
+
+    def test_mapreduce_theorem1(self, tiny_instance):
+        optimum = optimal_kcenter_radius(tiny_instance, K)
+        for ell in (1, 2, 3):
+            result = MapReduceKCenter(K, ell=ell, epsilon=EPSILON, random_state=0).fit(tiny_instance)
+            assert result.radius <= (2.0 + EPSILON) * optimum + 1e-9
+
+
+class TestOutlierBounds:
+    def test_charikar_three_approximation(self, tiny_instance):
+        optimum = optimal_kcenter_with_outliers_radius(tiny_instance, K, Z)
+        result = CharikarKCenterOutliers(K, Z).fit(tiny_instance)
+        assert result.radius <= 3.0 * optimum + 1e-9
+
+    def test_sequential_theorem2(self, tiny_instance):
+        optimum = optimal_kcenter_with_outliers_radius(tiny_instance, K, Z)
+        result = SequentialKCenterOutliers(K, Z, epsilon=EPSILON, random_state=0).fit(tiny_instance)
+        assert result.radius <= (3.0 + EPSILON) * optimum + 1e-9
+
+    def test_mapreduce_theorem2_deterministic(self, tiny_instance):
+        optimum = optimal_kcenter_with_outliers_radius(tiny_instance, K, Z)
+        for ell in (1, 2):
+            result = MapReduceKCenterOutliers(
+                K, Z, ell=ell, epsilon=EPSILON, random_state=0
+            ).fit(tiny_instance)
+            assert result.radius <= (3.0 + EPSILON) * optimum + 1e-9
+
+    def test_mapreduce_randomized(self, tiny_instance):
+        optimum = optimal_kcenter_with_outliers_radius(tiny_instance, K, Z)
+        result = MapReduceKCenterOutliers(
+            K, Z, ell=2, epsilon=EPSILON, randomized=True, random_state=4
+        ).fit(tiny_instance)
+        assert result.radius <= (3.0 + EPSILON) * optimum + 1e-9
+
+    def test_streaming_theorem3(self, tiny_instance):
+        optimum = optimal_kcenter_with_outliers_radius(tiny_instance, K, Z)
+        algorithm = CoresetStreamOutliers(K, Z, coreset_size=tiny_instance.shape[0])
+        report = StreamingRunner().run(
+            algorithm, ArrayStream(tiny_instance, shuffle=True, random_state=0)
+        )
+        radius = radius_with_outliers(tiny_instance, report.result.centers, Z)
+        assert radius <= (3.0 + EPSILON) * optimum + 1e-9
+
+
+class TestCrossAlgorithmConsistency:
+    def test_all_solvers_agree_on_easy_instance(self, tiny_instance):
+        # On a well-separated instance every outlier-aware solver should find
+        # (roughly) the same clustering radius once the two planted outliers
+        # are excluded.
+        radii = []
+        radii.append(CharikarKCenterOutliers(K, Z).fit(tiny_instance).radius)
+        radii.append(SequentialKCenterOutliers(K, Z, coreset_multiplier=8, random_state=0).fit(tiny_instance).radius)
+        radii.append(
+            MapReduceKCenterOutliers(K, Z, ell=2, coreset_multiplier=8, random_state=0)
+            .fit(tiny_instance)
+            .radius
+        )
+        spread = max(radii) / max(min(radii), 1e-12)
+        assert spread <= 3.0
+
+    def test_kcenter_radius_larger_with_fewer_centers(self, tiny_instance):
+        r2 = MapReduceKCenter(2, ell=2, coreset_multiplier=4, random_state=0).fit(tiny_instance).radius
+        r5 = MapReduceKCenter(5, ell=2, coreset_multiplier=4, random_state=0).fit(tiny_instance).radius
+        assert r5 <= r2 + 1e-9

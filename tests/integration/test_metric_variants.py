@@ -1,0 +1,89 @@
+"""Integration tests: every solver works under every registered metric.
+
+The paper's algorithms only rely on the triangle inequality, so they must
+work unchanged under any of the registered metrics (Euclidean, Manhattan,
+Chebyshev, angular). These tests run each solver end to end under each
+metric and check basic solution sanity, guarding against accidental
+Euclidean-only assumptions creeping into the implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CoresetStreamOutliers,
+    MapReduceKCenter,
+    MapReduceKCenterOutliers,
+    SequentialKCenter,
+    SequentialKCenterOutliers,
+)
+from repro.metricspace import available_metrics, get_metric
+from repro.streaming import ArrayStream, StreamingRunner
+
+METRICS = available_metrics()
+
+
+@pytest.fixture(scope="module")
+def positive_blobs():
+    """Strictly positive data so the angular metric is informative."""
+    rng = np.random.default_rng(5)
+    clusters = [
+        rng.normal(loc=center, scale=0.4, size=(40, 3))
+        for center in ([5, 1, 1], [1, 5, 1], [1, 1, 5])
+    ]
+    return np.abs(np.vstack(clusters)) + 0.1
+
+
+@pytest.mark.parametrize("metric_name", METRICS)
+class TestSolversAcrossMetrics:
+    def test_sequential_kcenter(self, metric_name, positive_blobs):
+        result = SequentialKCenter(3, metric=metric_name).fit(positive_blobs)
+        assert result.k == 3
+        assert np.isfinite(result.radius)
+        metric = get_metric(metric_name)
+        distances = metric.cdist(positive_blobs, result.centers).min(axis=1)
+        assert result.radius == pytest.approx(distances.max(), rel=1e-9)
+
+    def test_mapreduce_kcenter(self, metric_name, positive_blobs):
+        result = MapReduceKCenter(
+            3, ell=3, coreset_multiplier=2, metric=metric_name, random_state=0
+        ).fit(positive_blobs)
+        assert result.k == 3
+        assert np.isfinite(result.radius)
+
+    def test_sequential_outliers(self, metric_name, positive_blobs):
+        result = SequentialKCenterOutliers(
+            3, 5, coreset_multiplier=2, metric=metric_name, random_state=0
+        ).fit(positive_blobs)
+        assert result.k <= 3
+        assert result.radius <= result.radius_all_points + 1e-12
+
+    def test_mapreduce_outliers(self, metric_name, positive_blobs):
+        result = MapReduceKCenterOutliers(
+            3, 5, ell=3, coreset_multiplier=2, metric=metric_name, random_state=0
+        ).fit(positive_blobs)
+        assert result.k <= 3
+        assert np.isfinite(result.radius)
+
+    def test_streaming_outliers(self, metric_name, positive_blobs):
+        algorithm = CoresetStreamOutliers(3, 5, coreset_multiplier=3, metric=metric_name)
+        report = StreamingRunner().run(algorithm, ArrayStream(positive_blobs))
+        assert report.result.centers.shape[0] <= 3
+        assert report.peak_memory <= algorithm.coreset_size + 1
+
+
+class TestMetricSpecificBehaviour:
+    def test_angular_ignores_vector_length(self, positive_blobs):
+        # Scaling every point by a positive constant must not change the
+        # angular-metric solution radius.
+        base = SequentialKCenter(3, metric="angular").fit(positive_blobs)
+        scaled = SequentialKCenter(3, metric="angular").fit(positive_blobs * 7.0)
+        assert base.radius == pytest.approx(scaled.radius, rel=1e-9)
+
+    def test_manhattan_radius_at_least_euclidean(self, positive_blobs):
+        centers = positive_blobs[:3]
+        manhattan = get_metric("manhattan").cdist(positive_blobs, centers).min(axis=1).max()
+        euclidean = get_metric("euclidean").cdist(positive_blobs, centers).min(axis=1).max()
+        assert manhattan >= euclidean - 1e-9

@@ -1,0 +1,98 @@
+"""Tests for repro.mapreduce.partitioner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.mapreduce import (
+    split_adversarial,
+    split_contiguous,
+    split_random,
+    split_round_robin,
+    validate_partition,
+)
+
+
+class TestSplitContiguous:
+    def test_covers_all_indices(self):
+        parts = split_contiguous(100, 7)
+        validate_partition(parts, 100)
+
+    def test_balanced_sizes(self):
+        parts = split_contiguous(100, 8)
+        sizes = [p.size for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_parts_than_points_raises(self):
+        with pytest.raises(InvalidParameterError):
+            split_contiguous(3, 5)
+
+    def test_blocks_are_contiguous(self):
+        parts = split_contiguous(10, 2)
+        np.testing.assert_array_equal(parts[0], np.arange(5))
+        np.testing.assert_array_equal(parts[1], np.arange(5, 10))
+
+
+class TestSplitRoundRobin:
+    def test_covers_all_indices(self):
+        parts = split_round_robin(53, 6)
+        validate_partition(parts, 53)
+
+    def test_interleaving(self):
+        parts = split_round_robin(9, 3)
+        np.testing.assert_array_equal(parts[0], [0, 3, 6])
+        np.testing.assert_array_equal(parts[2], [2, 5, 8])
+
+
+class TestSplitRandom:
+    def test_covers_all_indices(self):
+        parts = split_random(200, 5, random_state=0)
+        validate_partition(parts, 200)
+
+    def test_roughly_balanced(self):
+        parts = split_random(4000, 4, random_state=0)
+        sizes = np.array([p.size for p in parts])
+        assert sizes.min() > 800  # expected 1000 each; generous tolerance
+
+    def test_reproducible(self):
+        a = split_random(50, 3, random_state=7)
+        b = split_random(50, 3, random_state=7)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestSplitAdversarial:
+    def test_adversarial_indices_in_target_partition(self):
+        adversarial = [3, 8, 15]
+        parts = split_adversarial(30, 4, adversarial, target_partition=2)
+        validate_partition(parts, 30)
+        assert set(adversarial).issubset(set(parts[2].tolist()))
+
+    def test_sizes_stay_balanced(self):
+        parts = split_adversarial(100, 4, list(range(10)), target_partition=0)
+        sizes = [p.size for p in parts]
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_invalid_target_partition(self):
+        with pytest.raises(InvalidParameterError):
+            split_adversarial(10, 2, [0], target_partition=5)
+
+    def test_out_of_range_indices(self):
+        with pytest.raises(InvalidParameterError):
+            split_adversarial(10, 2, [100])
+
+    def test_with_shuffle(self):
+        parts = split_adversarial(40, 4, [0, 1], random_state=3)
+        validate_partition(parts, 40)
+
+
+class TestValidatePartition:
+    def test_rejects_missing_index(self):
+        with pytest.raises(InvalidParameterError):
+            validate_partition([np.array([0, 1]), np.array([3])], 4)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InvalidParameterError):
+            validate_partition([np.array([0, 1]), np.array([1, 2])], 3)

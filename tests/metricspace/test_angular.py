@@ -1,0 +1,53 @@
+"""Tests for the angular metric (added for word2vec-style embeddings)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import gmm_select
+from repro.metricspace import angular, available_metrics, get_metric
+
+
+class TestAngularMetric:
+    def test_registered(self):
+        assert "angular" in available_metrics()
+
+    def test_orthogonal_vectors(self):
+        result = angular(np.array([[1.0, 0.0]]), np.array([[0.0, 1.0]]))
+        assert result[0, 0] == pytest.approx(np.pi / 2)
+
+    def test_parallel_vectors_zero_distance(self):
+        result = angular(np.array([[2.0, 0.0]]), np.array([[5.0, 0.0]]))
+        assert result[0, 0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_opposite_vectors(self):
+        result = angular(np.array([[1.0, 0.0]]), np.array([[-3.0, 0.0]]))
+        assert result[0, 0] == pytest.approx(np.pi)
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(5, 4))
+        b = rng.normal(size=(6, 4))
+        np.testing.assert_allclose(angular(a, b), angular(a * 3.0, b * 0.5), atol=1e-9)
+
+    def test_zero_vector_is_orthogonal_to_everything(self):
+        result = angular(np.array([[0.0, 0.0]]), np.array([[1.0, 1.0], [0.0, 0.0]]))
+        assert result[0, 0] == pytest.approx(np.pi / 2)
+        assert result[0, 1] == pytest.approx(np.pi / 2)
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(6, 5))
+        metric = get_metric("angular")
+        matrix = metric.pairwise(points)
+        n = points.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert matrix[i, j] <= matrix[i, k] + matrix[k, j] + 1e-8
+
+    def test_usable_by_gmm(self, small_blobs):
+        result = gmm_select(small_blobs + 1.0, 4, metric="angular")
+        assert result.n_centers == 4
+        assert 0 <= result.radius <= np.pi

@@ -1,0 +1,133 @@
+"""Tests for repro.metricspace.distance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.metricspace import (
+    DistanceCounter,
+    Metric,
+    available_metrics,
+    cdist,
+    chebyshev,
+    euclidean,
+    get_metric,
+    manhattan,
+    pairwise,
+    point_to_points,
+)
+
+
+class TestEuclidean:
+    def test_known_distance(self):
+        result = euclidean(np.array([[0.0, 0.0]]), np.array([[3.0, 4.0]]))
+        assert result.shape == (1, 1)
+        assert result[0, 0] == pytest.approx(5.0)
+
+    def test_zero_distance_to_self(self):
+        points = np.array([[1.5, -2.0, 7.0]])
+        assert euclidean(points, points)[0, 0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_matrix_shape(self):
+        a = np.random.default_rng(0).normal(size=(4, 3))
+        b = np.random.default_rng(1).normal(size=(6, 3))
+        assert euclidean(a, b).shape == (4, 6)
+
+    def test_matches_naive_computation(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(5, 4))
+        b = rng.normal(size=(7, 4))
+        fast = euclidean(a, b)
+        naive = np.sqrt(((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2))
+        np.testing.assert_allclose(fast, naive, atol=1e-9)
+
+
+class TestOtherMetrics:
+    def test_manhattan_known_value(self):
+        result = manhattan(np.array([[0.0, 0.0]]), np.array([[3.0, 4.0]]))
+        assert result[0, 0] == pytest.approx(7.0)
+
+    def test_chebyshev_known_value(self):
+        result = chebyshev(np.array([[0.0, 0.0]]), np.array([[3.0, 4.0]]))
+        assert result[0, 0] == pytest.approx(4.0)
+
+    def test_metric_ordering(self):
+        # Chebyshev <= Euclidean <= Manhattan for the same pair of points.
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(10, 5))
+        b = rng.normal(size=(10, 5))
+        c = chebyshev(a, b)
+        e = euclidean(a, b)
+        m = manhattan(a, b)
+        assert np.all(c <= e + 1e-9)
+        assert np.all(e <= m + 1e-9)
+
+
+class TestMetricRegistry:
+    def test_available_metrics(self):
+        names = available_metrics()
+        assert "euclidean" in names
+        assert "manhattan" in names
+        assert "chebyshev" in names
+
+    def test_get_metric_by_name_case_insensitive(self):
+        assert get_metric("Euclidean").name == "euclidean"
+
+    def test_get_metric_passthrough(self):
+        metric = get_metric("manhattan")
+        assert get_metric(metric) is metric
+
+    def test_get_metric_unknown_raises(self):
+        with pytest.raises(InvalidParameterError):
+            get_metric("cosine-similarity")
+
+    def test_get_metric_invalid_type_raises(self):
+        with pytest.raises(InvalidParameterError):
+            get_metric(42)
+
+
+class TestMetricHelpers:
+    def test_point_to_points(self):
+        distances = point_to_points([0.0, 0.0], [[1.0, 0.0], [0.0, 2.0]])
+        np.testing.assert_allclose(distances, [1.0, 2.0])
+
+    def test_pairwise_is_symmetric_with_zero_diagonal(self):
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(8, 3))
+        matrix = pairwise(points)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+    def test_cdist_matches_pairwise_on_same_input(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(6, 2))
+        np.testing.assert_allclose(cdist(points, points), pairwise(points), atol=1e-6)
+
+    def test_metric_distance_scalar(self):
+        metric = get_metric("euclidean")
+        assert metric.distance([0.0, 0.0], [0.0, 3.0]) == pytest.approx(3.0)
+
+    def test_triangle_inequality_euclidean(self):
+        rng = np.random.default_rng(6)
+        a, b, c = rng.normal(size=(3, 4))
+        metric = get_metric("euclidean")
+        assert metric.distance(a, c) <= metric.distance(a, b) + metric.distance(b, c) + 1e-9
+
+
+class TestDistanceCounter:
+    def test_counts_evaluations(self):
+        counter = DistanceCounter("euclidean")
+        counter.metric.cdist(np.zeros((3, 2)), np.zeros((5, 2)))
+        assert counter.count == 15
+
+    def test_reset(self):
+        counter = DistanceCounter()
+        counter.metric.cdist(np.zeros((2, 2)), np.zeros((2, 2)))
+        counter.reset()
+        assert counter.count == 0
+
+    def test_counted_metric_is_a_metric(self):
+        counter = DistanceCounter()
+        assert isinstance(counter.metric, Metric)

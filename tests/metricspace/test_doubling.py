@@ -1,0 +1,63 @@
+"""Tests for repro.metricspace.doubling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import points_on_manifold, uniform_hypercube
+from repro.metricspace import (
+    correlation_dimension_estimate,
+    doubling_dimension_estimate,
+    greedy_cover_size,
+)
+
+
+class TestGreedyCoverSize:
+    def test_single_ball_when_radius_large(self):
+        points = np.random.default_rng(0).normal(size=(30, 2))
+        assert greedy_cover_size(points, radius=1e6) == 1
+
+    def test_every_point_needed_when_radius_zero_and_distinct(self):
+        points = np.arange(10, dtype=float).reshape(-1, 1)
+        assert greedy_cover_size(points, radius=0.4) == 10
+
+    def test_monotone_in_radius(self):
+        points = np.random.default_rng(1).uniform(size=(100, 2))
+        small = greedy_cover_size(points, radius=0.05)
+        large = greedy_cover_size(points, radius=0.3)
+        assert large <= small
+
+
+class TestDoublingDimensionEstimate:
+    def test_low_dimensional_line(self):
+        points = np.linspace(0, 1, 300).reshape(-1, 1)
+        estimate = doubling_dimension_estimate(points, random_state=0)
+        assert 0.0 <= estimate <= 2.5
+
+    def test_higher_for_higher_dimension(self):
+        low = uniform_hypercube(400, 1, random_state=0)
+        high = uniform_hypercube(400, 5, random_state=0)
+        est_low = doubling_dimension_estimate(low, random_state=1)
+        est_high = doubling_dimension_estimate(high, random_state=1)
+        assert est_high > est_low
+
+    def test_degenerate_identical_points(self):
+        points = np.ones((20, 3))
+        assert doubling_dimension_estimate(points, random_state=0) == 0.0
+
+
+class TestCorrelationDimensionEstimate:
+    def test_line_has_dimension_about_one(self):
+        points = np.linspace(0, 1, 500).reshape(-1, 1)
+        estimate = correlation_dimension_estimate(points, random_state=0)
+        assert 0.5 <= estimate <= 1.6
+
+    def test_manifold_estimate_tracks_intrinsic_dimension(self):
+        # 2-d manifold embedded in 10-d ambient space.
+        points = points_on_manifold(800, 2, 10, noise_std=0.0, random_state=0)
+        estimate = correlation_dimension_estimate(points, random_state=1)
+        assert estimate < 4.0
+
+    def test_degenerate_identical_points(self):
+        points = np.zeros((30, 2))
+        assert correlation_dimension_estimate(points, random_state=0) == 0.0

@@ -1,0 +1,60 @@
+"""Tests for repro.metricspace.meb."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metricspace import Ball, bounding_box_ball, minimum_enclosing_ball
+
+
+class TestMinimumEnclosingBall:
+    def test_covers_all_points(self, medium_blobs):
+        ball = minimum_enclosing_ball(medium_blobs)
+        distances = np.linalg.norm(medium_blobs - ball.center, axis=1)
+        assert distances.max() <= ball.radius + 1e-9
+
+    def test_two_points(self):
+        ball = minimum_enclosing_ball(np.array([[0.0, 0.0], [2.0, 0.0]]), epsilon=0.01)
+        # Optimal MEB has radius 1 centered at (1, 0); accept the (1+eps) slack.
+        assert ball.radius <= 1.0 * 1.05 + 1e-9
+        assert ball.radius >= 1.0 - 1e-9
+
+    def test_single_point(self):
+        ball = minimum_enclosing_ball(np.array([[3.0, 4.0]]))
+        assert ball.radius == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(ball.center, [3.0, 4.0])
+
+    def test_approximation_quality_on_sphere(self):
+        rng = np.random.default_rng(0)
+        directions = rng.normal(size=(200, 3))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        ball = minimum_enclosing_ball(directions, epsilon=0.05)
+        # The optimal radius is 1; the approximation must be within (1+eps).
+        assert ball.radius <= 1.05 + 1e-6
+
+    def test_max_iterations_cap(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(50, 2))
+        ball = minimum_enclosing_ball(points, epsilon=0.001, max_iterations=3)
+        distances = np.linalg.norm(points - ball.center, axis=1)
+        assert distances.max() <= ball.radius + 1e-9
+
+
+class TestBoundingBoxBall:
+    def test_covers_all_points(self, medium_blobs):
+        ball = bounding_box_ball(medium_blobs)
+        distances = np.linalg.norm(medium_blobs - ball.center, axis=1)
+        assert distances.max() <= ball.radius + 1e-9
+
+    def test_center_is_box_center(self):
+        points = np.array([[0.0, 0.0], [4.0, 2.0]])
+        ball = bounding_box_ball(points)
+        np.testing.assert_allclose(ball.center, [2.0, 1.0])
+
+
+class TestBall:
+    def test_contains(self):
+        ball = Ball(center=np.array([0.0, 0.0]), radius=1.0)
+        mask = ball.contains(np.array([[0.5, 0.0], [2.0, 0.0]]))
+        assert mask.tolist() == [True, False]

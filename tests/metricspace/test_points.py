@@ -1,0 +1,133 @@
+"""Tests for repro.metricspace.points (Dataset and WeightedPoints)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError, InvalidParameterError
+from repro.metricspace import Dataset, WeightedPoints
+
+
+class TestDataset:
+    def test_length_and_dimension(self, small_blobs):
+        data = Dataset(small_blobs)
+        assert len(data) == small_blobs.shape[0]
+        assert data.dimension == small_blobs.shape[1]
+
+    def test_one_dimensional_input_reshaped(self):
+        data = Dataset([1.0, 2.0, 3.0])
+        assert len(data) == 3
+        assert data.dimension == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.empty((0, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DatasetError):
+            Dataset([[0.0, np.nan]])
+
+    def test_points_are_read_only(self, small_blobs):
+        data = Dataset(small_blobs)
+        with pytest.raises(ValueError):
+            data.points[0, 0] = 1.0
+
+    def test_distance(self):
+        data = Dataset([[0.0, 0.0], [3.0, 4.0]])
+        assert data.distance(0, 1) == pytest.approx(5.0)
+
+    def test_distances_to_set_and_radius(self, tiny_points):
+        data = Dataset(tiny_points)
+        distances = data.distances_to_set([0, 3])
+        assert distances.shape == (len(data),)
+        # The farthest point from centers {0, 10} is 50, at distance 40.
+        assert data.radius([0, 3]) == pytest.approx(40.0)
+
+    def test_distances_to_empty_set_raises(self, tiny_points):
+        data = Dataset(tiny_points)
+        with pytest.raises(InvalidParameterError):
+            data.distances_to_set([])
+
+    def test_subset(self, small_blobs):
+        data = Dataset(small_blobs)
+        sub = data.subset([0, 5, 10])
+        assert len(sub) == 3
+        np.testing.assert_allclose(sub.points[1], small_blobs[5])
+
+    def test_take_returns_copy(self, small_blobs):
+        data = Dataset(small_blobs)
+        taken = data.take([0, 1])
+        taken[0, 0] = 1e9
+        assert data.points[0, 0] != 1e9
+
+    def test_distances_from(self, tiny_points):
+        data = Dataset(tiny_points)
+        distances = data.distances_from(0, [1, 2])
+        np.testing.assert_allclose(distances, [1.0, 2.0])
+
+    def test_pairwise_subset(self, tiny_points):
+        data = Dataset(tiny_points)
+        matrix = data.pairwise([0, 1, 2])
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 2] == pytest.approx(2.0)
+
+    def test_iteration(self):
+        data = Dataset([[1.0], [2.0]])
+        rows = list(data)
+        assert len(rows) == 2
+
+    def test_manhattan_metric(self):
+        data = Dataset([[0.0, 0.0], [1.0, 1.0]], metric="manhattan")
+        assert data.distance(0, 1) == pytest.approx(2.0)
+
+
+class TestWeightedPoints:
+    def test_basic_construction(self):
+        wp = WeightedPoints(points=[[0.0], [1.0]], weights=[2.0, 3.0])
+        assert len(wp) == 2
+        assert wp.total_weight == pytest.approx(5.0)
+        assert wp.dimension == 1
+
+    def test_rejects_wrong_weight_length(self):
+        with pytest.raises(InvalidParameterError):
+            WeightedPoints(points=[[0.0], [1.0]], weights=[1.0])
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(InvalidParameterError):
+            WeightedPoints(points=[[0.0]], weights=[0.0])
+
+    def test_origin_indices_validation(self):
+        with pytest.raises(InvalidParameterError):
+            WeightedPoints(points=[[0.0], [1.0]], weights=[1.0, 1.0], origin_indices=[5])
+
+    def test_concatenate_preserves_weights_and_origins(self):
+        a = WeightedPoints(points=[[0.0]], weights=[2.0], origin_indices=[0])
+        b = WeightedPoints(points=[[1.0]], weights=[3.0], origin_indices=[7])
+        union = WeightedPoints.concatenate([a, b])
+        assert len(union) == 2
+        assert union.total_weight == pytest.approx(5.0)
+        np.testing.assert_array_equal(union.origin_indices, [0, 7])
+
+    def test_concatenate_drops_origins_when_missing(self):
+        a = WeightedPoints(points=[[0.0]], weights=[1.0], origin_indices=[0])
+        b = WeightedPoints(points=[[1.0]], weights=[1.0])
+        union = WeightedPoints.concatenate([a, b])
+        assert union.origin_indices is None
+
+    def test_concatenate_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            WeightedPoints.concatenate([])
+
+    def test_unit_weights(self):
+        wp = WeightedPoints(points=[[0.0], [1.0]], weights=[5.0, 9.0])
+        unit = wp.unit_weights()
+        np.testing.assert_allclose(unit.weights, [1.0, 1.0])
+        assert wp.total_weight == pytest.approx(14.0)
+
+    def test_from_dataset_defaults_to_unit_weights(self, small_blobs):
+        data = Dataset(small_blobs)
+        wp = WeightedPoints.from_dataset(data, [3, 4, 5])
+        assert len(wp) == 3
+        np.testing.assert_allclose(wp.weights, 1.0)
+        np.testing.assert_array_equal(wp.origin_indices, [3, 4, 5])

@@ -1,0 +1,82 @@
+"""Property-based tests for coreset construction and OUTLIERSCLUSTER."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    CoresetSpec,
+    OutliersClusterSolver,
+    build_coreset,
+    search_radius,
+)
+from repro.metricspace import WeightedPoints
+
+coordinates = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+
+def point_sets(min_points=8, max_points=40, max_dim=3):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(min_points, max_points), st.integers(1, max_dim)),
+        elements=coordinates,
+    )
+
+
+class TestCoresetProperties:
+    @given(points=point_sets(), k=st.integers(1, 4), mu=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_weights_conserve_partition_size(self, points, k, mu):
+        spec = CoresetSpec.from_multiplier(min(k, points.shape[0]), mu)
+        result = build_coreset(points, spec, weighted=True)
+        assert result.coreset.total_weight == points.shape[0]
+
+    @given(points=point_sets(), k=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_proxy_distance_bounded_by_base_radius(self, points, k):
+        # With the epsilon rule, max proxy distance <= (eps/2) * r_{T^k}.
+        k = min(k, points.shape[0])
+        epsilon = 0.5
+        spec = CoresetSpec.from_epsilon(k, epsilon)
+        result = build_coreset(points, spec, weighted=True)
+        scale = max(1.0, result.gmm_radius_at_base)
+        assert result.max_proxy_distance <= (epsilon / 2.0) * result.gmm_radius_at_base + 1e-9 * scale
+
+    @given(points=point_sets(), k=st.integers(1, 4), mu=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_coreset_points_are_input_points(self, points, k, mu):
+        spec = CoresetSpec.from_multiplier(min(k, points.shape[0]), mu)
+        result = build_coreset(points, spec)
+        np.testing.assert_allclose(result.coreset.points, points[result.center_indices])
+
+
+class TestOutliersClusterProperties:
+    @given(points=point_sets(max_points=25), k=st.integers(1, 3), z=st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_radius_search_result_is_feasible(self, points, k, z):
+        coreset = WeightedPoints(points=points, weights=np.ones(points.shape[0]))
+        solver = OutliersClusterSolver(coreset, k=k, eps_hat=0.1)
+        result = search_radius(solver, z=z)
+        assert result.solution.uncovered_weight <= z + 1e-9
+
+    @given(points=point_sets(max_points=25), k=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_uncovered_weight_monotone_in_radius(self, points, k):
+        coreset = WeightedPoints(points=points, weights=np.ones(points.shape[0]))
+        solver = OutliersClusterSolver(coreset, k=k, eps_hat=0.0)
+        diameter = float(solver.pairwise_distances.max())
+        small = solver.uncovered_weight(diameter * 0.1)
+        large = solver.uncovered_weight(diameter)
+        assert large <= small + 1e-9
+
+    @given(points=point_sets(max_points=20), k=st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_selected_centers_within_coreset(self, points, k):
+        coreset = WeightedPoints(points=points, weights=np.ones(points.shape[0]))
+        solver = OutliersClusterSolver(coreset, k=k, eps_hat=0.2)
+        result = solver.run(radius=1.0)
+        assert np.all(result.center_indices < len(coreset))
+        assert np.all(result.center_indices >= 0)

@@ -1,0 +1,61 @@
+"""Property-based tests for the distance functions (metric axioms)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metricspace import get_metric
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+def point_arrays(n_points: int, max_dim: int = 5):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.just(n_points), st.integers(1, max_dim)),
+        elements=finite_floats,
+    )
+
+
+@pytest.mark.parametrize("metric_name", ["euclidean", "manhattan", "chebyshev"])
+class TestMetricAxioms:
+    @given(points=point_arrays(3))
+    @settings(max_examples=40, deadline=None)
+    def test_non_negativity_and_symmetry(self, metric_name, points):
+        metric = get_metric(metric_name)
+        matrix = metric.pairwise(points)
+        assert np.all(matrix >= 0)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-8)
+
+    @given(points=point_arrays(3))
+    @settings(max_examples=40, deadline=None)
+    def test_identity(self, metric_name, points):
+        metric = get_metric(metric_name)
+        matrix = metric.pairwise(points)
+        scale = max(1.0, np.abs(points).max())
+        assert np.all(np.diag(matrix) <= 1e-7 * scale)
+
+    @given(points=point_arrays(3))
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, metric_name, points):
+        metric = get_metric(metric_name)
+        matrix = metric.pairwise(points)
+        scale = max(1.0, matrix.max())
+        for i in range(3):
+            for j in range(3):
+                for k in range(3):
+                    assert matrix[i, j] <= matrix[i, k] + matrix[k, j] + 1e-7 * scale
+
+
+class TestCrossConsistency:
+    @given(points=point_arrays(4))
+    @settings(max_examples=40, deadline=None)
+    def test_point_to_points_matches_cdist_row(self, points):
+        metric = get_metric("euclidean")
+        row = metric.point_to_points(points[0], points)
+        matrix = metric.cdist(points[:1], points)[0]
+        np.testing.assert_allclose(row, matrix, atol=1e-8)

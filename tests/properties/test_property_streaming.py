@@ -1,0 +1,71 @@
+"""Property-based tests for the streaming coreset invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import StreamingCoreset
+from repro.metricspace import pairwise
+
+coordinates = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+def streams(min_points=5, max_points=80, max_dim=3):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(min_points, max_points), st.integers(1, max_dim)),
+        elements=coordinates,
+    )
+
+
+class TestStreamingCoresetInvariants:
+    @given(points=streams(), tau=st.integers(1, 12))
+    @settings(max_examples=50, deadline=None)
+    def test_invariant_a_size_never_exceeds_tau(self, points, tau):
+        coreset = StreamingCoreset(tau=tau)
+        for point in points:
+            coreset.process(point)
+            if coreset.is_initialized:
+                assert coreset.size <= tau
+
+    @given(points=streams(), tau=st.integers(2, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_invariant_b_pairwise_separation(self, points, tau):
+        coreset = StreamingCoreset(tau=tau)
+        for point in points:
+            coreset.process(point)
+        if coreset.is_initialized and coreset.size > 1 and coreset.phi > 0:
+            distances = pairwise(coreset.centers)
+            off_diag = distances[np.triu_indices(coreset.size, k=1)]
+            assert off_diag.min() > 4.0 * coreset.phi - 1e-7 * max(1.0, coreset.phi)
+
+    @given(points=streams(), tau=st.integers(1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_invariant_c_coverage(self, points, tau):
+        coreset = StreamingCoreset(tau=tau)
+        for point in points:
+            coreset.process(point)
+        centers = coreset.centers
+        distances = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2).min(axis=1)
+        bound = 8.0 * coreset.phi
+        scale = max(1.0, np.abs(points).max())
+        assert distances.max() <= bound + 1e-7 * scale
+
+    @given(points=streams(), tau=st.integers(1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_invariant_d_weight_conservation(self, points, tau):
+        coreset = StreamingCoreset(tau=tau)
+        for point in points:
+            coreset.process(point)
+        assert coreset.weights.sum() == points.shape[0]
+
+    @given(points=streams(min_points=10), tau=st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_working_memory_bound(self, points, tau):
+        coreset = StreamingCoreset(tau=tau)
+        for point in points:
+            coreset.process(point)
+            assert coreset.working_memory_size <= tau + 1

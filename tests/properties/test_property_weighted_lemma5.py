@@ -1,0 +1,77 @@
+"""Property-based test of Lemma 5 in its weighted (coreset) form.
+
+Lemma 5 is the heart of the outlier analysis: when OUTLIERSCLUSTER runs
+on the *weighted* union of coresets with any radius ``r >= r*_{k,z}(S)``,
+the total weight left uncovered is at most ``z`` (so the corresponding
+original points can legitimately be declared outliers). We check this end
+to end on random small instances: build the weighted coreset with the
+epsilon rule (as the sequential / ell = 1 algorithm does), compute the
+true ``r*_{k,z}`` by brute force, and verify the uncovered-weight bound.
+
+The lemma needs the proxy error to be accounted for: the uncovered weight
+is guaranteed to be at most ``z`` when the radius handed to
+OUTLIERSCLUSTER is at least ``r*_{k,z}``, *given* that the coreset's
+proxy distance is at most ``eps_hat * r*_{k,z}`` (Lemma 4). The epsilon
+rule guarantees the latter, so the combined statement must hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import CoresetSpec, OutliersClusterSolver, build_coreset
+from repro.evaluation import optimal_kcenter_with_outliers_radius
+
+coordinates = st.floats(min_value=-30.0, max_value=30.0, allow_nan=False, allow_infinity=False)
+
+
+def instances():
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(8, 16), st.integers(1, 2)),
+        elements=coordinates,
+    )
+
+
+class TestWeightedLemma5:
+    @given(points=instances(), k=st.integers(1, 3), z=st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_uncovered_weight_at_most_z_at_optimal_radius(self, points, k, z):
+        k = min(k, points.shape[0] - 1) or 1
+        z = min(z, points.shape[0] - k - 1)
+        if z < 0:
+            z = 0
+        epsilon = 1.0
+        eps_hat = epsilon / 6.0
+
+        coreset = build_coreset(
+            points, CoresetSpec.from_epsilon(k + z, epsilon), weighted=True
+        ).coreset
+        optimum = optimal_kcenter_with_outliers_radius(points, k, z)
+
+        solver = OutliersClusterSolver(coreset, k=k, eps_hat=eps_hat)
+        result = solver.run(radius=max(optimum, 1e-12))
+        scale = max(1.0, np.abs(points).max())
+        assert result.uncovered_weight <= z + 1e-7 * scale
+
+    @given(points=instances(), k=st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_covered_points_within_three_plus_eps_of_centers(self, points, k):
+        # The companion claim of Lemma 5: every covered coreset point lies
+        # within (3 + 4 eps_hat) r of the selected centers.
+        k = min(k, points.shape[0] - 1) or 1
+        eps_hat = 1.0 / 6.0
+        coreset = build_coreset(
+            points, CoresetSpec.from_epsilon(k, 1.0), weighted=True
+        ).coreset
+        solver = OutliersClusterSolver(coreset, k=k, eps_hat=eps_hat)
+        radius = float(np.median(solver.candidate_radii())) if len(coreset) > 1 else 0.0
+        result = solver.run(radius)
+        covered = ~result.uncovered_mask
+        if covered.any() and result.n_centers:
+            distances = solver.pairwise_distances[np.ix_(covered, result.center_indices)]
+            scale = max(1.0, radius)
+            assert distances.min(axis=1).max() <= (3 + 4 * eps_hat) * radius + 1e-7 * scale

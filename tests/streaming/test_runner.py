@@ -1,0 +1,82 @@
+"""Tests for repro.streaming.runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MemoryBudgetExceededError, StreamingProtocolError
+from repro.streaming import ArrayStream, StreamingAlgorithm, StreamingRunner
+
+
+class CollectEverything(StreamingAlgorithm):
+    """A trivial algorithm that stores every point (for harness testing)."""
+
+    def __init__(self) -> None:
+        self.points: list[np.ndarray] = []
+
+    def process(self, point: np.ndarray) -> None:
+        self.points.append(np.array(point))
+
+    def finalize(self):
+        return np.vstack(self.points)
+
+    @property
+    def working_memory_size(self) -> int:
+        return len(self.points)
+
+
+class TwoPassCounter(StreamingAlgorithm):
+    """Counts points per pass (for multi-pass harness testing)."""
+
+    n_passes = 2
+
+    def __init__(self) -> None:
+        self.counts = [0, 0]
+        self._current = 0
+
+    def start_pass(self, pass_index: int) -> None:
+        self._current = pass_index
+
+    def process(self, point: np.ndarray) -> None:
+        self.counts[self._current] += 1
+
+    def finalize(self):
+        return tuple(self.counts)
+
+    @property
+    def working_memory_size(self) -> int:
+        return 2
+
+
+class TestStreamingRunner:
+    def test_runs_and_reports(self, small_blobs):
+        report = StreamingRunner().run(CollectEverything(), ArrayStream(small_blobs))
+        assert report.n_points == small_blobs.shape[0]
+        assert report.n_passes == 1
+        assert report.peak_memory == small_blobs.shape[0]
+        assert report.result.shape == small_blobs.shape
+        assert report.throughput > 0
+
+    def test_memory_limit(self, small_blobs):
+        runner = StreamingRunner(memory_limit=10)
+        with pytest.raises(MemoryBudgetExceededError):
+            runner.run(CollectEverything(), ArrayStream(small_blobs))
+
+    def test_multi_pass(self, small_blobs):
+        report = StreamingRunner().run(TwoPassCounter(), ArrayStream(small_blobs))
+        assert report.n_passes == 2
+        assert report.result == (small_blobs.shape[0], small_blobs.shape[0])
+
+    def test_pass_budget_mismatch(self, small_blobs):
+        with pytest.raises(StreamingProtocolError):
+            StreamingRunner().run(TwoPassCounter(), ArrayStream(small_blobs, max_passes=1))
+
+    def test_invalid_check_interval(self):
+        with pytest.raises(StreamingProtocolError):
+            StreamingRunner(memory_check_interval=0)
+
+    def test_sparse_memory_checks_still_catch_peak(self, small_blobs):
+        runner = StreamingRunner(memory_check_interval=1000)
+        report = runner.run(CollectEverything(), ArrayStream(small_blobs))
+        assert report.peak_memory == small_blobs.shape[0]

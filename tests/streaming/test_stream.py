@@ -1,0 +1,77 @@
+"""Tests for repro.streaming.stream."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StreamingProtocolError
+from repro.streaming import ArrayStream, GeneratorStream
+
+
+class TestArrayStream:
+    def test_iterates_all_points(self, small_blobs):
+        stream = ArrayStream(small_blobs)
+        points = list(stream.iterate_pass())
+        assert len(points) == small_blobs.shape[0]
+        np.testing.assert_allclose(points[0], small_blobs[0])
+
+    def test_multiple_passes_same_order(self, small_blobs):
+        stream = ArrayStream(small_blobs, shuffle=True, random_state=0)
+        first = np.vstack(list(stream.iterate_pass()))
+        second = np.vstack(list(stream.iterate_pass()))
+        np.testing.assert_allclose(first, second)
+
+    def test_shuffle_changes_order(self, small_blobs):
+        stream = ArrayStream(small_blobs, shuffle=True, random_state=0)
+        shuffled = np.vstack(list(stream.iterate_pass()))
+        assert not np.allclose(shuffled, small_blobs)
+        # ... but it is the same multiset of points.
+        np.testing.assert_allclose(
+            np.sort(shuffled, axis=0), np.sort(small_blobs, axis=0)
+        )
+
+    def test_pass_budget_enforced(self, small_blobs):
+        stream = ArrayStream(small_blobs, max_passes=1)
+        list(stream.iterate_pass())
+        with pytest.raises(StreamingProtocolError):
+            list(stream.iterate_pass())
+
+    def test_counters(self, small_blobs):
+        stream = ArrayStream(small_blobs)
+        list(stream.iterate_pass())
+        assert stream.passes_started == 1
+        assert stream.points_delivered == small_blobs.shape[0]
+
+    def test_len_and_dimension(self, small_blobs):
+        stream = ArrayStream(small_blobs)
+        assert len(stream) == small_blobs.shape[0]
+        assert stream.dimension == small_blobs.shape[1]
+
+    def test_iter_protocol(self, small_blobs):
+        count = sum(1 for _ in ArrayStream(small_blobs))
+        assert count == small_blobs.shape[0]
+
+
+class TestGeneratorStream:
+    def test_single_points(self):
+        stream = GeneratorStream(iter([[1.0, 2.0], [3.0, 4.0]]))
+        points = list(stream.iterate_pass())
+        assert len(points) == 2
+
+    def test_batches_unrolled(self, small_blobs):
+        batches = (small_blobs[i : i + 16] for i in range(0, small_blobs.shape[0], 16))
+        stream = GeneratorStream(batches)
+        points = list(stream.iterate_pass())
+        assert len(points) == small_blobs.shape[0]
+
+    def test_single_pass_only(self):
+        stream = GeneratorStream(iter([[1.0]]))
+        list(stream.iterate_pass())
+        with pytest.raises(StreamingProtocolError):
+            list(stream.iterate_pass())
+
+    def test_rejects_higher_dimensional_items(self):
+        stream = GeneratorStream(iter([np.zeros((2, 2, 2))]))
+        with pytest.raises(StreamingProtocolError):
+            list(stream.iterate_pass())

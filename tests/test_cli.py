@@ -1,0 +1,92 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve", "mr-kcenter"])
+        assert args.command == "mr-kcenter"
+        assert args.dataset == "higgs"
+        assert args.k == 20
+
+    def test_figure_defaults(self):
+        args = build_parser().parse_args(["figure2"])
+        assert args.figure == "figure2"
+        assert args.n_points == 2000
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+
+class TestMain:
+    def test_solve_mr_kcenter(self, capsys):
+        exit_code = main([
+            "solve", "mr-kcenter", "--dataset", "power",
+            "--n-points", "300", "--k", "5", "--ell", "2", "--mu", "2",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "MapReduceKCenter" in output
+        assert "radius" in output
+
+    def test_solve_mr_outliers_randomized(self, capsys):
+        exit_code = main([
+            "solve", "mr-outliers", "--dataset", "higgs",
+            "--n-points", "300", "--k", "5", "--z", "10",
+            "--ell", "2", "--mu", "2", "--randomized",
+        ])
+        assert exit_code == 0
+        assert "randomized" in capsys.readouterr().out
+
+    def test_solve_sequential_outliers(self, capsys):
+        exit_code = main([
+            "solve", "sequential-outliers", "--dataset", "wiki",
+            "--n-points", "200", "--k", "4", "--z", "8", "--mu", "2",
+        ])
+        assert exit_code == 0
+        assert "SequentialKCenterOutliers" in capsys.readouterr().out
+
+    def test_solve_sequential_kcenter(self, capsys):
+        exit_code = main([
+            "solve", "sequential-kcenter", "--dataset", "power",
+            "--n-points", "200", "--k", "4",
+        ])
+        assert exit_code == 0
+        assert "GMM" in capsys.readouterr().out
+
+    def test_ablation_partitioning_figure(self, capsys):
+        exit_code = main([
+            "ablation-partitioning", "--n-points", "300", "--k", "5", "--z", "10",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "configuration" in output
+        assert "randomized" in output
+
+    def test_figure6_scaling(self, capsys):
+        exit_code = main([
+            "figure6", "--n-points", "150", "--k", "4", "--z", "8", "--seed", "1",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "size_factor" in output
+        assert "points_per_s" in output
+
+    def test_ablation_coreset(self, capsys):
+        exit_code = main([
+            "ablation-coreset", "--n-points", "250", "--k", "5",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "rule" in output
+        assert "epsilon" in output

@@ -1,0 +1,56 @@
+"""Package-level smoke tests (public API surface and exception hierarchy)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    DatasetError,
+    InvalidParameterError,
+    MemoryBudgetExceededError,
+    NotFittedError,
+    ReproError,
+    StreamingProtocolError,
+)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_example(self):
+        from repro import MapReduceKCenter
+        from repro.datasets import GaussianMixtureSpec, gaussian_mixture
+
+        points = gaussian_mixture(200, GaussianMixtureSpec(4, 2), random_state=0)
+        result = MapReduceKCenter(k=4, ell=2, coreset_multiplier=2, random_state=0).fit(points)
+        assert result.radius > 0
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            InvalidParameterError,
+            DatasetError,
+            MemoryBudgetExceededError,
+            StreamingProtocolError,
+            NotFittedError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_value_error_compatibility(self):
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(DatasetError, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(MemoryBudgetExceededError, RuntimeError)
+        assert issubclass(StreamingProtocolError, RuntimeError)
+        assert issubclass(NotFittedError, RuntimeError)
