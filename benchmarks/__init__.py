@@ -1,0 +1,5 @@
+"""Benchmark harness regenerating the paper's figures (run with pytest).
+
+This package marker lets the ``bench_*.py`` modules use ``from .conftest
+import ...`` regardless of how pytest is invoked.
+"""

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.core import SequentialKCenterOutliers
 from repro.datasets import inject_outliers
-from repro.evaluation import approximation_ratios, format_records
+from repro.evaluation import approximation_ratios
 
 from .conftest import attach_records, bench_seed
 

@@ -7,23 +7,40 @@ in {1, 2, 4, 8, 16}; the plot separates the coreset-construction time
 ``|S|/ell`` points and builds a coreset a factor ell smaller) from the
 constant time of the final OUTLIERSCLUSTER solve.
 
-The simulated parallel time of the coreset phase is the slowest
-round-1 reducer; the benchmark checks that it decreases as ell grows and
-that the solve time stays roughly constant.
+Two complementary measurements:
+
+* ``test_figure7_scaling_processors`` — the per-reducer accounting view:
+  the parallel time of the coreset phase is the slowest round-1 reducer,
+  which must decrease as ell grows while the solve time stays constant.
+  Runs on whatever backend ``--backend`` selects (serial by default).
+* ``test_figure7_true_wallclock_scaling`` — real end-to-end wall-clock
+  over 1/2/4 worker pools on a synthetic ``--scaling-points`` instance
+  (default 100k points). Requires ``--backend threads`` or
+  ``--backend processes``; the speedup assertion additionally needs at
+  least 4 CPUs (it is reported either way).
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
+import pytest
 
 from repro.core import MapReduceKCenterOutliers
 from repro.datasets import inject_outliers
-from repro.evaluation import figure7_scaling_processors
+from repro.evaluation import (
+    figure7_scaling_processors,
+    figure7_wallclock_scaling,
+    format_records,
+)
 
-from .conftest import attach_records, bench_seed
+from .conftest import attach_records, bench_backend, bench_seed, scaling_points
 
 K, Z = 10, 60
 ELLS = (1, 2, 4, 8, 16)
+
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.5"))
 
 
 def test_figure7_scaling_processors(benchmark, paper_datasets):
@@ -33,6 +50,7 @@ def test_figure7_scaling_processors(benchmark, paper_datasets):
         z=Z,
         ells=ELLS,
         union_multiplier=8.0,
+        backend=bench_backend(),
         random_state=bench_seed(),
     )
 
@@ -42,6 +60,7 @@ def test_figure7_scaling_processors(benchmark, paper_datasets):
         solver = MapReduceKCenterOutliers(
             K, Z, ell=16, coreset_multiplier=8, randomized=True,
             include_log_term=False, random_state=bench_seed(),
+            backend=bench_backend(),
         )
         return solver.fit(injected.points)
 
@@ -51,7 +70,7 @@ def test_figure7_scaling_processors(benchmark, paper_datasets):
         benchmark,
         records,
         printed_columns=[
-            "dataset", "ell", "per_partition_coreset", "union_coreset_size",
+            "dataset", "ell", "backend", "per_partition_coreset", "union_coreset_size",
             "radius", "coreset_time_parallel_s", "coreset_time_total_s", "solve_time_s",
         ],
     )
@@ -61,9 +80,41 @@ def test_figure7_scaling_processors(benchmark, paper_datasets):
             (r for r in records if r["dataset"] == dataset_name),
             key=lambda r: r["ell"],
         )
-        # The (simulated) parallel coreset time at ell=16 is below the ell=1 time.
+        # The parallel coreset time (slowest reducer) at ell=16 is below the ell=1 time.
         assert rows[-1]["coreset_time_parallel_s"] <= rows[0]["coreset_time_parallel_s"] + 1e-6
         # The final solve runs on a union of roughly constant size, so its
         # cost does not explode with ell.
         solve_times = np.array([r["solve_time_s"] for r in rows])
         assert solve_times.max() <= max(10 * solve_times.min(), solve_times.min() + 0.5)
+
+
+def test_figure7_true_wallclock_scaling():
+    backend = bench_backend()
+    if backend in (None, "serial"):
+        pytest.skip("pass --backend threads|processes to measure true wall-clock scaling")
+
+    records = figure7_wallclock_scaling(
+        scaling_points(),
+        k=K,
+        z=Z,
+        workers=(1, 2, 4),
+        backend=backend,
+        random_state=bench_seed(),
+    )
+    print()
+    print(format_records(
+        records,
+        columns=["backend", "workers", "ell", "n_points", "radius",
+                 "coreset_time_total_s", "wall_time_s", "speedup"],
+    ))
+
+    # The solution must not depend on the worker count (shared seed).
+    radii = {r["radius"] for r in records}
+    assert len(radii) == 1
+
+    speedup_at_4 = next(r["speedup"] for r in records if r["workers"] == 4)
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup_at_4 > MIN_SPEEDUP, (
+            f"expected > {MIN_SPEEDUP}x wall-clock speedup at 4 workers, "
+            f"got {speedup_at_4:.2f}x"
+        )

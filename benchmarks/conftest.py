@@ -6,10 +6,21 @@ The figures' result tables are printed to stdout (run pytest with ``-s``
 to see them) and attached to the pytest-benchmark ``extra_info`` so they
 are preserved in ``--benchmark-json`` output.
 
-Environment knobs (all optional):
+Reproducibility knobs — every ``bench_*.py`` draws its seed and problem
+size from here, so a CI smoke run is fully determined by the command
+line:
 
-* ``REPRO_BENCH_POINTS`` — points per dataset stand-in (default 1500);
-* ``REPRO_BENCH_SEED`` — master seed (default 7).
+* ``--seed N`` — master seed (overrides ``REPRO_BENCH_SEED``; default 7);
+* ``--bench-points N`` — points per dataset stand-in (overrides
+  ``REPRO_BENCH_POINTS``; default 1500);
+* ``--backend NAME`` — MapReduce executor backend for the benchmarks
+  that support one (default serial);
+* ``--scaling-points N`` — instance size for the true wall-clock
+  scaling benchmark in ``bench_fig7_scaling_procs.py`` (default 100000).
+
+The options are registered only when pytest is invoked on the
+``benchmarks/`` directory (an "initial conftest"); the helpers fall back
+to the environment variables otherwise.
 """
 
 from __future__ import annotations
@@ -19,16 +30,58 @@ import os
 import pytest
 
 from repro.evaluation import default_datasets
+from repro.mapreduce import available_backends
+
+_CONFIG = None
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro-bench", "paper-reproduction benchmark knobs")
+    group.addoption("--seed", type=int, default=None,
+                    help="master seed for all benchmarks (overrides REPRO_BENCH_SEED)")
+    group.addoption("--bench-points", type=int, default=None,
+                    help="points per dataset stand-in (overrides REPRO_BENCH_POINTS)")
+    group.addoption("--backend", choices=available_backends(), default=None,
+                    help="MapReduce executor backend for backend-aware benchmarks")
+    group.addoption("--scaling-points", type=int, default=100_000,
+                    help="instance size for the true wall-clock scaling benchmark")
+
+
+def pytest_configure(config):
+    global _CONFIG
+    _CONFIG = config
+
+
+def _option(name: str, default=None):
+    if _CONFIG is None:
+        return default
+    return _CONFIG.getoption(name, default=default)
 
 
 def bench_points() -> int:
     """Dataset size used by the benchmark harness."""
+    from_option = _option("--bench-points")
+    if from_option is not None:
+        return int(from_option)
     return int(os.environ.get("REPRO_BENCH_POINTS", "1500"))
 
 
 def bench_seed() -> int:
     """Master seed used by the benchmark harness."""
+    from_option = _option("--seed")
+    if from_option is not None:
+        return int(from_option)
     return int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+def bench_backend() -> str | None:
+    """Executor backend requested on the command line (``None`` = serial)."""
+    return _option("--backend")
+
+
+def scaling_points() -> int:
+    """Instance size for the true wall-clock scaling benchmark."""
+    return int(_option("--scaling-points", default=100_000))
 
 
 @pytest.fixture(scope="session")

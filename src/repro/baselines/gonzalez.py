@@ -8,8 +8,6 @@ refer to all comparison algorithms uniformly (``repro.baselines.*``).
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core.gmm import GMMResult, gmm_select
 from ..metricspace.distance import Metric
 

@@ -31,6 +31,7 @@ from .core import (
     SequentialKCenterOutliers,
 )
 from .datasets import inject_outliers, load_paper_dataset
+from .mapreduce import available_backends
 from .evaluation import (
     ablation_coreset_stopping,
     ablation_partitioning,
@@ -53,6 +54,17 @@ def _add_common_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
 
 
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="executor backend for the MapReduce runtime (default: serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for the threads/processes backends (default: one per CPU)",
+    )
+
+
 def _solve(args: argparse.Namespace) -> int:
     points = load_paper_dataset(args.dataset, args.n_points, random_state=args.seed)
     if args.command in ("mr-outliers", "sequential-outliers"):
@@ -61,11 +73,13 @@ def _solve(args: argparse.Namespace) -> int:
 
     if args.command == "mr-kcenter":
         solver = MapReduceKCenter(
-            args.k, ell=args.ell, coreset_multiplier=args.mu, random_state=args.seed
+            args.k, ell=args.ell, coreset_multiplier=args.mu, random_state=args.seed,
+            backend=args.backend, max_workers=args.workers,
         )
         result = solver.fit(points)
         rows = [{
             "algorithm": "MapReduceKCenter",
+            "backend": args.backend or "serial",
             "radius": result.radius,
             "coreset_size": result.coreset_size,
             "peak_local_memory": result.stats.peak_local_memory,
@@ -74,10 +88,12 @@ def _solve(args: argparse.Namespace) -> int:
         solver = MapReduceKCenterOutliers(
             args.k, args.z, ell=args.ell, coreset_multiplier=args.mu,
             randomized=args.randomized, include_log_term=False, random_state=args.seed,
+            backend=args.backend, max_workers=args.workers,
         )
         result = solver.fit(points)
         rows = [{
             "algorithm": "MapReduceKCenterOutliers" + (" (randomized)" if args.randomized else ""),
+            "backend": args.backend or "serial",
             "radius": result.radius,
             "radius_all_points": result.radius_all_points,
             "coreset_size": result.coreset_size,
@@ -120,7 +136,10 @@ def _run_figure(args: argparse.Namespace) -> int:
     elif figure == "figure6":
         records = figure6_scaling_size(datasets, k=args.k, z=args.z, random_state=args.seed)
     elif figure == "figure7":
-        records = figure7_scaling_processors(datasets, k=args.k, z=args.z, random_state=args.seed)
+        records = figure7_scaling_processors(
+            datasets, k=args.k, z=args.z, backend=args.backend,
+            max_workers=args.workers, random_state=args.seed,
+        )
     elif figure == "figure8":
         records = figure8_sequential(
             datasets, k=args.k, z=args.z, sample_size=args.sample_size, random_state=args.seed
@@ -156,6 +175,8 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--mu", type=float, default=4.0)
         sub.add_argument("--randomized", action="store_true")
         _add_common_dataset_arguments(sub)
+        if name.startswith("mr-"):
+            _add_backend_arguments(sub)
         sub.set_defaults(handler=_solve)
 
     figure_names = (
@@ -168,6 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--z", type=int, default=100)
         sub.add_argument("--sample-size", type=int, default=1500)
         _add_common_dataset_arguments(sub)
+        if name == "figure7":
+            # The only figure driver with a backend knob so far; the other
+            # figures reject the flags rather than silently ignoring them.
+            _add_backend_arguments(sub)
         sub.set_defaults(handler=_run_figure, figure=name)
 
     return parser

@@ -11,19 +11,26 @@ memory ``O(|S|/ell + ell * k * (4/eps)^D)``.
 Setting ``coreset_multiplier = 1`` recovers the algorithm of Malkomes et
 al. [26] (the paper's baseline in Figure 2), which is also exposed
 directly as :class:`repro.baselines.malkomes.MalkomesKCenter`.
+
+The reducers are module-level functions parameterised with
+:func:`functools.partial` over picklable arguments (the point matrix
+travels as a :class:`~repro.mapreduce.backends.SharedArray`), so the
+driver runs unchanged — and produces identical results — on every
+executor backend, including ``"processes"``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from .._validation import check_points, check_positive_int, check_random_state
 from ..exceptions import InvalidParameterError
+from ..mapreduce.backends import ExecutorBackend, SharedArray
 from ..mapreduce.partitioner import (
-    split_adversarial,
     split_contiguous,
     split_random,
     split_round_robin,
@@ -31,7 +38,7 @@ from ..mapreduce.partitioner import (
 from ..mapreduce.runtime import JobStats, MapReduceRuntime
 from ..metricspace.distance import Metric, get_metric
 from .assignment import assign_to_centers
-from .coreset import CoresetResult, CoresetSpec, build_coreset
+from .coreset import CoresetSpec, build_coreset
 from .gmm import gmm_select
 
 __all__ = ["MRKCenterResult", "MapReduceKCenter"]
@@ -42,6 +49,84 @@ _PARTITIONERS = {
     "round_robin": split_round_robin,
     "random": split_random,
 }
+
+
+@dataclass(frozen=True)
+class _CoresetPhaseOutput:
+    """Round-1 reducer output: a partition's coreset plus its build time.
+
+    The timing rides along to the coordinator, which harvests it in the
+    round-2 mapper; only the indices continue into the shuffle, so memory
+    accounting sees exactly the same values on every backend.
+    """
+
+    indices: np.ndarray
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class _SolvePhaseOutput:
+    """Round-2 reducer output: the final solution data plus the solve time."""
+
+    center_indices: np.ndarray
+    coreset_size: int
+    elapsed: float
+
+
+def _coreset_reducer(
+    partition_id,
+    values,
+    *,
+    points: SharedArray,
+    spec: CoresetSpec,
+    metric: Metric,
+    seeds: tuple[int, ...],
+):
+    """Build the coreset of one partition (round-1 reducer; picklable)."""
+    indices = np.concatenate(values)
+    start = time.perf_counter()
+    result = build_coreset(
+        points.array[indices],
+        spec,
+        metric,
+        weighted=False,
+        first_center=None,
+        random_state=seeds[partition_id],
+    )
+    elapsed = time.perf_counter() - start
+    return [(0, _CoresetPhaseOutput(indices[result.center_indices], elapsed))]
+
+
+def _solve_reducer(
+    _key,
+    values,
+    *,
+    points: SharedArray,
+    k: int,
+    metric: Metric,
+    seed: int,
+):
+    """Run GMM on the union of the coresets (round-2 reducer; picklable)."""
+    union_indices = np.concatenate(values)
+    start = time.perf_counter()
+    solution = gmm_select(
+        points.array[union_indices],
+        k,
+        metric,
+        first_center=None,
+        random_state=seed,
+    )
+    elapsed = time.perf_counter() - start
+    return [
+        (
+            0,
+            _SolvePhaseOutput(
+                center_indices=union_indices[solution.centers],
+                coreset_size=int(union_indices.shape[0]),
+                elapsed=elapsed,
+            ),
+        )
+    ]
 
 
 @dataclass(frozen=True)
@@ -62,8 +147,8 @@ class MRKCenterResult:
     ell:
         Number of partitions (degree of parallelism) used.
     stats:
-        MapReduce accounting (rounds, local / aggregate memory, simulated
-        parallel time).
+        MapReduce accounting (rounds, local / aggregate memory, parallel
+        time estimate).
     coreset_time:
         Wall-clock seconds spent building the per-partition coresets
         (sum over partitions; divide by ``ell`` for the ideal parallel time,
@@ -112,13 +197,17 @@ class MapReduceKCenter:
         Seed for the random partitioning and the arbitrary choice of the
         first GMM center in each partition.
     local_memory_limit:
-        Optional per-reducer memory cap (items) enforced by the simulated
-        runtime.
+        Optional per-reducer memory cap (items) enforced by the runtime.
     max_workers:
-        Threads used by the simulated runtime to execute the per-partition
-        coreset constructions concurrently (1 = sequential). The result is
+        Workers used by the runtime to execute the per-partition coreset
+        constructions concurrently (1 = sequential). The result is
         deterministic for any value because per-partition seeds are drawn
         up front.
+    backend:
+        Executor backend for the runtime: ``"serial"``, ``"threads"``,
+        ``"processes"``, an instance, or ``None`` (threads when
+        ``max_workers`` > 1, serial otherwise). All backends produce
+        identical centers, radii and accounting, modulo timings.
 
     Examples
     --------
@@ -141,7 +230,8 @@ class MapReduceKCenter:
         metric: str | Metric = "euclidean",
         random_state=None,
         local_memory_limit: int | None = None,
-        max_workers: int = 1,
+        max_workers: int | None = None,
+        backend: str | ExecutorBackend | None = None,
     ) -> None:
         self.k = check_positive_int(k, name="k")
         self.ell = check_positive_int(ell, name="ell")
@@ -161,7 +251,10 @@ class MapReduceKCenter:
         self.metric = get_metric(metric)
         self.random_state = random_state
         self.local_memory_limit = local_memory_limit
-        self.max_workers = check_positive_int(max_workers, name="max_workers")
+        if max_workers is not None:
+            max_workers = check_positive_int(max_workers, name="max_workers")
+        self.max_workers = max_workers
+        self.backend = backend
 
     # -- helpers -----------------------------------------------------------------------
 
@@ -190,19 +283,14 @@ class MapReduceKCenter:
         rng = check_random_state(self.random_state)
         spec = self._coreset_spec()
         parts = self._partition(n, rng)
-        runtime = MapReduceRuntime(
-            local_memory_limit=self.local_memory_limit, max_workers=self.max_workers
-        )
 
         # Per-partition seeds (and the second-round seed) are drawn up front
         # so that reducers are free of shared mutable state and the result is
-        # identical whether the runtime executes them sequentially or in a
-        # thread pool.
-        partition_seeds = [int(rng.integers(2**31 - 1)) for _ in parts]
+        # identical on every backend (serial, thread pool, process pool).
+        partition_seeds = tuple(int(rng.integers(2**31 - 1)) for _ in parts)
         final_seed = int(rng.integers(2**31 - 1))
 
-        coreset_results: dict[int, CoresetResult] = {}
-        timings = {"coreset": 0.0, "solve": 0.0}
+        timings = {"coreset": 0.0}
 
         def first_round_mapper(_key, value):
             # The mapper only routes point indices to their partition; it is
@@ -211,60 +299,51 @@ class MapReduceKCenter:
             for partition_id, indices in enumerate(parts):
                 yield (partition_id, indices)
 
-        def first_round_reducer(partition_id, values):
-            indices = np.concatenate(values)
-            start = time.perf_counter()
-            result = build_coreset(
-                pts[indices],
-                spec,
-                self.metric,
-                weighted=False,
-                first_center=None,
-                random_state=partition_seeds[partition_id],
+        def second_round_mapper(_key, value: _CoresetPhaseOutput):
+            # Runs in the coordinator: harvest the per-partition build times
+            # and forward only the coreset indices into the shuffle.
+            timings["coreset"] += value.elapsed
+            yield (0, value.indices)
+
+        with MapReduceRuntime(
+            local_memory_limit=self.local_memory_limit,
+            max_workers=self.max_workers,
+            backend=self.backend,
+        ) as runtime:
+            shared_pts = runtime.share_array(pts)
+            first_round_reducer = partial(
+                _coreset_reducer,
+                points=shared_pts,
+                spec=spec,
+                metric=self.metric,
+                seeds=partition_seeds,
             )
-            timings["coreset"] += time.perf_counter() - start
-            coreset_results[partition_id] = result
-            # Re-express coreset point indices in global coordinates.
-            global_indices = indices[result.center_indices]
-            yield (0, global_indices)
-
-        def second_round_mapper(key, value):
-            yield (key, value)
-
-        final: dict[str, np.ndarray] = {}
-
-        def second_round_reducer(_key, values):
-            union_indices = np.concatenate(values)
-            start = time.perf_counter()
-            solution = gmm_select(
-                pts[union_indices],
-                self.k,
-                self.metric,
-                first_center=None,
-                random_state=final_seed,
+            second_round_reducer = partial(
+                _solve_reducer,
+                points=shared_pts,
+                k=self.k,
+                metric=self.metric,
+                seed=final_seed,
             )
-            timings["solve"] += time.perf_counter() - start
-            final["center_indices"] = union_indices[solution.centers]
-            final["coreset_size"] = union_indices.shape[0]
-            yield (0, final["center_indices"])
+            output = runtime.execute_job(
+                [(None, np.arange(n))],
+                [
+                    (first_round_mapper, first_round_reducer),
+                    (second_round_mapper, second_round_reducer),
+                ],
+            )
+            stats = runtime.stats
 
-        runtime.execute_job(
-            [(None, np.arange(n))],
-            [
-                (first_round_mapper, first_round_reducer),
-                (second_round_mapper, second_round_reducer),
-            ],
-        )
-
-        center_indices = final["center_indices"]
+        solution: _SolvePhaseOutput = output[0][1]
+        center_indices = solution.center_indices
         clustering = assign_to_centers(pts, pts[center_indices], self.metric)
         return MRKCenterResult(
             centers=pts[center_indices],
             center_indices=center_indices,
             radius=clustering.radius,
-            coreset_size=int(final["coreset_size"]),
+            coreset_size=solution.coreset_size,
             ell=len(parts),
-            stats=runtime.stats,
+            stats=stats,
             coreset_time=timings["coreset"],
-            solve_time=timings["solve"],
+            solve_time=solution.elapsed,
         )

@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -34,6 +35,7 @@ from .._validation import (
     check_random_state,
 )
 from ..exceptions import InvalidParameterError
+from ..mapreduce.backends import ExecutorBackend, SharedArray
 from ..mapreduce.partitioner import (
     split_adversarial,
     split_contiguous,
@@ -49,6 +51,76 @@ from .outliers_cluster import OutliersClusterSolver
 from .radius_search import search_radius
 
 __all__ = ["MROutliersResult", "MapReduceKCenterOutliers"]
+
+
+@dataclass(frozen=True)
+class _CoresetPhaseOutput:
+    """Round-1 reducer output: a partition's weighted coreset plus its build time.
+
+    The timing rides along to the coordinator, which harvests it in the
+    round-2 mapper; only the coreset continues into the shuffle, so memory
+    accounting sees exactly the same values on every backend.
+    """
+
+    coreset: WeightedPoints
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class _SolvePhaseOutput:
+    """Round-2 reducer output: the union, the radius search outcome, the solve time."""
+
+    union: WeightedPoints
+    search: object
+    elapsed: float
+
+
+def _coreset_reducer(
+    partition_id,
+    values,
+    *,
+    points: SharedArray,
+    spec: CoresetSpec,
+    metric: Metric,
+    seeds: dict[int, int],
+):
+    """Build one partition's weighted coreset (round-1 reducer; picklable)."""
+    indices = np.concatenate(values)
+    start = time.perf_counter()
+    result = build_coreset(
+        points.array[indices],
+        spec,
+        metric,
+        weighted=True,
+        origin_offset=0,
+        first_center=None,
+        random_state=seeds[partition_id],
+    )
+    elapsed = time.perf_counter() - start
+    coreset = WeightedPoints(
+        points=result.coreset.points,
+        weights=result.coreset.weights,
+        origin_indices=indices[result.center_indices],
+    )
+    return [(0, _CoresetPhaseOutput(coreset, elapsed))]
+
+
+def _solve_reducer(
+    _key,
+    values,
+    *,
+    k: int,
+    z: int,
+    eps_hat: float,
+    metric: Metric,
+):
+    """Radius search + OUTLIERSCLUSTER on the coreset union (round-2 reducer; picklable)."""
+    union = WeightedPoints.concatenate(values)
+    start = time.perf_counter()
+    solver = OutliersClusterSolver(union, k, eps_hat=eps_hat, metric=metric)
+    search = search_radius(solver, z)
+    elapsed = time.perf_counter() - start
+    return [(0, _SolvePhaseOutput(union, search, elapsed))]
 
 
 @dataclass(frozen=True)
@@ -145,7 +217,7 @@ class MapReduceKCenterOutliers:
         Whether ``z'`` includes the ``log2 |S|`` term of Lemma 7 (the
         paper's experiments drop it; theory keeps it). Only relevant for
         the randomized variant.
-    metric, random_state, local_memory_limit, max_workers:
+    metric, random_state, local_memory_limit, max_workers, backend:
         As in :class:`~repro.core.mr_kcenter.MapReduceKCenter`.
     """
 
@@ -165,7 +237,8 @@ class MapReduceKCenterOutliers:
         metric: str | Metric = "euclidean",
         random_state=None,
         local_memory_limit: int | None = None,
-        max_workers: int = 1,
+        max_workers: int | None = None,
+        backend: str | ExecutorBackend | None = None,
     ) -> None:
         self.k = check_positive_int(k, name="k")
         self.z = check_non_negative_int(z, name="z")
@@ -203,7 +276,10 @@ class MapReduceKCenterOutliers:
         self.metric = get_metric(metric)
         self.random_state = random_state
         self.local_memory_limit = local_memory_limit
-        self.max_workers = check_positive_int(max_workers, name="max_workers")
+        if max_workers is not None:
+            max_workers = check_positive_int(max_workers, name="max_workers")
+        self.max_workers = max_workers
+        self.backend = backend
 
     # -- helpers -----------------------------------------------------------------------
 
@@ -251,19 +327,15 @@ class MapReduceKCenterOutliers:
         ell = min(self.ell, n)
         spec = self._coreset_spec(n, ell)
         parts = self._partition(n, ell, rng)
-        runtime = MapReduceRuntime(
-            local_memory_limit=self.local_memory_limit, max_workers=self.max_workers
-        )
 
         # Per-partition seeds are drawn up front so reducers carry no shared
-        # random state; results are identical under sequential and
-        # thread-parallel execution of the runtime.
+        # random state; results are identical on every backend (serial,
+        # thread pool, process pool).
         partition_seeds = {
             partition_id: int(rng.integers(2**31 - 1)) for partition_id in range(len(parts))
         }
 
-        timings = {"coreset": 0.0, "solve": 0.0}
-        final: dict[str, object] = {}
+        timings = {"coreset": 0.0}
 
         def first_round_mapper(_key, value):
             del value
@@ -271,51 +343,44 @@ class MapReduceKCenterOutliers:
                 if indices.size:
                     yield (partition_id, indices)
 
-        def first_round_reducer(partition_id, values):
-            indices = np.concatenate(values)
-            start = time.perf_counter()
-            result = build_coreset(
-                pts[indices],
-                spec,
-                self.metric,
-                weighted=True,
-                origin_offset=0,
-                first_center=None,
-                random_state=partition_seeds[partition_id],
+        def second_round_mapper(_key, value: _CoresetPhaseOutput):
+            # Runs in the coordinator: harvest the per-partition build times
+            # and forward only the weighted coresets into the shuffle.
+            timings["coreset"] += value.elapsed
+            yield (0, value.coreset)
+
+        with MapReduceRuntime(
+            local_memory_limit=self.local_memory_limit,
+            max_workers=self.max_workers,
+            backend=self.backend,
+        ) as runtime:
+            shared_pts = runtime.share_array(pts)
+            first_round_reducer = partial(
+                _coreset_reducer,
+                points=shared_pts,
+                spec=spec,
+                metric=self.metric,
+                seeds=partition_seeds,
             )
-            timings["coreset"] += time.perf_counter() - start
-            coreset = WeightedPoints(
-                points=result.coreset.points,
-                weights=result.coreset.weights,
-                origin_indices=indices[result.center_indices],
+            second_round_reducer = partial(
+                _solve_reducer,
+                k=self.k,
+                z=self.z,
+                eps_hat=self.eps_hat,
+                metric=self.metric,
             )
-            yield (0, coreset)
-
-        def second_round_mapper(key, value):
-            yield (key, value)
-
-        def second_round_reducer(_key, values):
-            union = WeightedPoints.concatenate(values)
-            start = time.perf_counter()
-            solver = OutliersClusterSolver(
-                union, self.k, eps_hat=self.eps_hat, metric=self.metric
+            output = runtime.execute_job(
+                [(None, np.arange(n))],
+                [
+                    (first_round_mapper, first_round_reducer),
+                    (second_round_mapper, second_round_reducer),
+                ],
             )
-            search = search_radius(solver, self.z)
-            timings["solve"] += time.perf_counter() - start
-            final["union"] = union
-            final["search"] = search
-            yield (0, search.solution.center_indices)
+            stats = runtime.stats
 
-        runtime.execute_job(
-            [(None, np.arange(n))],
-            [
-                (first_round_mapper, first_round_reducer),
-                (second_round_mapper, second_round_reducer),
-            ],
-        )
-
-        union: WeightedPoints = final["union"]  # type: ignore[assignment]
-        search = final["search"]
+        solution: _SolvePhaseOutput = output[0][1]
+        union = solution.union
+        search = solution.search
         coreset_center_positions = search.solution.center_indices
         centers = union.points[coreset_center_positions]
         center_indices = (
@@ -335,8 +400,8 @@ class MapReduceKCenterOutliers:
             coreset_size=len(union),
             ell=ell,
             randomized=self.randomized,
-            stats=runtime.stats,
+            stats=stats,
             coreset_time=timings["coreset"],
-            solve_time=timings["solve"],
+            solve_time=solution.elapsed,
             search_probes=search.probes,
         )

@@ -27,9 +27,8 @@ constant-free "practical" sizes used by the paper's experiments
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
-
-import numpy as np
 
 from .._validation import (
     check_epsilon,
@@ -37,6 +36,8 @@ from .._validation import (
     check_points,
     check_positive_int,
 )
+from ..exceptions import InvalidParameterError
+from ..mapreduce.backends import available_backends
 from ..metricspace.doubling import doubling_dimension_estimate
 
 __all__ = ["MapReducePlan", "StreamingPlan", "plan_mapreduce", "plan_streaming"]
@@ -68,6 +69,13 @@ class MapReducePlan:
         The ``D`` used in the theoretical bound.
     variant:
         ``"kcenter"``, ``"outliers"`` or ``"outliers-randomized"``.
+    backend:
+        Executor backend the plan targets (``"serial"``, ``"threads"``
+        or ``"processes"``).
+    suggested_workers:
+        Worker count to pass to the runtime for that backend: 1 for the
+        serial reference, otherwise ``min(ell, cpu_count)`` — more
+        workers than round-1 reducers can never help.
     """
 
     ell: int
@@ -78,6 +86,8 @@ class MapReducePlan:
     local_memory: int
     doubling_dimension: float
     variant: str
+    backend: str = "serial"
+    suggested_workers: int = 1
 
 
 @dataclass(frozen=True)
@@ -129,6 +139,7 @@ def plan_mapreduce(
     doubling_dimension: float | None = None,
     sample=None,
     random_state=None,
+    backend: str | None = None,
 ) -> MapReducePlan:
     """Suggest ``ell`` and coreset sizes for the MapReduce algorithms.
 
@@ -151,6 +162,11 @@ def plan_mapreduce(
         Optional point sample used to estimate ``D``.
     random_state:
         Seed for the estimation.
+    backend:
+        Executor backend to plan for (one of
+        :func:`repro.mapreduce.available_backends`). ``None`` picks
+        ``"processes"`` on multi-core machines and ``"serial"``
+        otherwise; the plan's ``suggested_workers`` is sized accordingly.
     """
     n = check_positive_int(n, name="n")
     k = check_positive_int(k, name="k")
@@ -158,6 +174,13 @@ def plan_mapreduce(
     epsilon = check_epsilon(epsilon)
     if practical_multiplier < 1:
         raise ValueError("practical_multiplier must be >= 1")
+    cpus = os.cpu_count() or 1
+    if backend is None:
+        backend = "processes" if cpus > 1 else "serial"
+    elif backend not in available_backends():
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; available: {', '.join(available_backends())}"
+        )
     dimension = _resolve_dimension(doubling_dimension, sample, random_state)
 
     if z == 0:
@@ -195,6 +218,8 @@ def plan_mapreduce(
         local_memory=local_memory,
         doubling_dimension=dimension,
         variant=variant,
+        backend=backend,
+        suggested_workers=1 if backend == "serial" else max(1, min(ell, cpus)),
     )
 
 

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from .._validation import check_non_negative_int
 from ..exceptions import InvalidParameterError
 from .outliers_cluster import OutliersClusterResult, OutliersClusterSolver

@@ -7,7 +7,7 @@ sources. Every generator accepts a ``random_state`` for reproducibility.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -12,6 +12,7 @@ from .experiments import (
     figure5_stream_outliers,
     figure6_scaling_size,
     figure7_scaling_processors,
+    figure7_wallclock_scaling,
     figure8_sequential,
 )
 from .ratio import BestRadiusRegistry, approximation_ratios
@@ -31,6 +32,7 @@ __all__ = [
     "figure5_stream_outliers",
     "figure6_scaling_size",
     "figure7_scaling_processors",
+    "figure7_wallclock_scaling",
     "figure8_sequential",
     "SummaryStatistics",
     "format_records",

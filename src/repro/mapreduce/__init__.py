@@ -1,5 +1,14 @@
-"""Simulated MapReduce substrate: runtime with memory accounting and partitioners."""
+"""MapReduce substrate: accounting runtime, executor backends, and partitioners."""
 
+from .backends import (
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    SharedArray,
+    ThreadBackend,
+    available_backends,
+    resolve_backend,
+)
 from .partitioner import (
     split_adversarial,
     split_contiguous,
@@ -10,11 +19,18 @@ from .partitioner import (
 from .runtime import JobStats, KeyValue, MapReduceRuntime, RoundStats, default_sizeof
 
 __all__ = [
+    "ExecutorBackend",
     "JobStats",
     "KeyValue",
     "MapReduceRuntime",
+    "ProcessBackend",
     "RoundStats",
+    "SerialBackend",
+    "SharedArray",
+    "ThreadBackend",
+    "available_backends",
     "default_sizeof",
+    "resolve_backend",
     "split_adversarial",
     "split_contiguous",
     "split_random",

@@ -1,0 +1,384 @@
+"""Pluggable executor backends for the MapReduce runtime.
+
+The runtime in :mod:`repro.mapreduce.runtime` separates *what* a round
+computes (map, shuffle, memory accounting) from *how* the reduce phase is
+executed. The latter is delegated to an :class:`ExecutorBackend`, of
+which three implementations are provided:
+
+* :class:`SerialBackend` (``"serial"``) — runs reducers one after the
+  other in the calling process. Fully deterministic timing; the reference
+  implementation every other backend must agree with.
+* :class:`ThreadBackend` (``"threads"``) — runs reducers on a
+  :class:`~concurrent.futures.ThreadPoolExecutor`. Gives real speed-ups
+  for NumPy-heavy reducers (which release the GIL inside vectorised
+  kernels) with zero serialisation cost, because all threads share the
+  coordinator's address space.
+* :class:`ProcessBackend` (``"processes"``) — runs reducers on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`. Sidesteps the GIL
+  entirely, so pure-Python reducer work also scales, at the price of
+  pickling the reducer callable and its per-group values for every task.
+
+To keep the process backend cheap for the dominant payload — the point
+matrix, which every reducer of the k-center drivers needs — large NumPy
+arrays can be published once through :meth:`ExecutorBackend.share_array`
+and referenced from reducers as a :class:`SharedArray`. Under the process
+backend the array is copied a single time into POSIX shared memory
+(:mod:`multiprocessing.shared_memory`); worker processes attach to the
+segment by name when they first unpickle a reference, so shipping a task
+costs a few bytes of metadata instead of the matrix. Under the serial and
+thread backends :class:`SharedArray` is a zero-copy wrapper around the
+original array.
+
+Reducer callables handed to :class:`ProcessBackend` must be picklable:
+module-level functions, or :func:`functools.partial` of module-level
+functions over picklable arguments. The k-center drivers in
+:mod:`repro.core` are written this way so that any backend can run them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import shared_memory
+from typing import Hashable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "ExecutorBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "SharedArray",
+    "available_backends",
+    "resolve_backend",
+]
+
+
+def _timed_reduce(reducer, key, values):
+    """Run one reducer call and measure the wall-clock time spent inside it.
+
+    Module-level so that the process backend can submit it to a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; the timing is taken
+    in the worker, so it measures reducer compute, not serialisation.
+    """
+    start = time.perf_counter()
+    produced = list(reducer(key, values))
+    return produced, time.perf_counter() - start
+
+
+# -- shared arrays ---------------------------------------------------------------------
+
+
+_ATTACHED_SEGMENTS: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+"""Per-process cache of shared-memory segments attached by :func:`_attach_shared_array`.
+
+Keeping the :class:`~multiprocessing.shared_memory.SharedMemory` object
+alive here is load-bearing: if it were garbage collected, the buffer
+backing the returned array views would be unmapped under them.
+"""
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker involvement.
+
+    On Python < 3.13 every attach registers the segment with a resource
+    tracker, which then tries to unlink it at process exit — wrong for
+    segments owned by the coordinator (and a source of tracker warnings).
+    Python 3.13+ exposes ``track=False``; for older versions registration
+    is suppressed for the duration of the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13 has no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def _attach_shared_array(meta: tuple[str, tuple, str]) -> "SharedArray":
+    """Reconstruct a :class:`SharedArray` in a worker process from its metadata."""
+    name, shape, dtype = meta
+    cached = _ATTACHED_SEGMENTS.get(name)
+    if cached is None:
+        segment = _attach_untracked(name)
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+        view.flags.writeable = False
+        _ATTACHED_SEGMENTS[name] = (segment, view)
+        cached = (segment, view)
+    return SharedArray(cached[1], meta=meta)
+
+
+class SharedArray:
+    """A read-only NumPy array that reducers can reference cheaply on any backend.
+
+    Instances are created by :meth:`ExecutorBackend.share_array`. Under
+    the serial and thread backends the wrapper holds the original array
+    (zero copy). Under the process backend the data lives in a named
+    shared-memory segment: pickling the wrapper serialises only
+    ``(name, shape, dtype)``, and unpickling in a worker attaches to the
+    segment instead of copying the data.
+    """
+
+    __slots__ = ("_array", "_segment", "_meta")
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        *,
+        segment: shared_memory.SharedMemory | None = None,
+        meta: tuple[str, tuple, str] | None = None,
+    ) -> None:
+        self._array = array
+        self._segment = segment
+        self._meta = meta
+
+    @classmethod
+    def wrap(cls, array) -> "SharedArray":
+        """Zero-copy wrapper for in-process backends."""
+        return cls(np.asarray(array))
+
+    @classmethod
+    def copy_to_shared_memory(cls, array) -> "SharedArray":
+        """Copy ``array`` once into a new shared-memory segment (owned by the caller)."""
+        arr = np.ascontiguousarray(array)
+        segment = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf)
+        view[...] = arr
+        view.flags.writeable = False
+        return cls(view, segment=segment, meta=(segment.name, arr.shape, arr.dtype.str))
+
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying read-only ``ndarray``."""
+        return self._array
+
+    @property
+    def shape(self) -> tuple:
+        return self._array.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._array.dtype
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    def __getitem__(self, item) -> np.ndarray:
+        return self._array[item]
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        if dtype is not None:
+            return self._array.astype(dtype)
+        return self._array
+
+    def __reduce__(self):
+        if self._meta is None:
+            raise TypeError(
+                "this SharedArray wraps a plain in-process array and cannot be "
+                "sent to another process; obtain it from a process backend's "
+                "share_array() instead"
+            )
+        return (_attach_shared_array, (self._meta,))
+
+    def close(self) -> None:
+        """Release the shared-memory segment (owner side: also unlink it)."""
+        if self._segment is not None:
+            self._array = np.empty(0, dtype=self._array.dtype)
+            self._segment.close()
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+            self._segment = None
+
+
+# -- backends --------------------------------------------------------------------------
+
+
+@runtime_checkable
+class ExecutorBackend(Protocol):
+    """How the reduce phase of a MapReduce round is executed.
+
+    Implementations must return one ``(outputs, elapsed_seconds)`` entry
+    per reduce group, keyed like ``groups`` — the runtime relies on that
+    to keep accounting and output order identical across backends.
+    """
+
+    name: str
+
+    def run_reducers(
+        self, reducer, groups: dict[Hashable, list]
+    ) -> dict[Hashable, tuple[list, float]]:
+        """Execute ``reducer`` on every group and return outputs plus timings."""
+        ...
+
+    def share_array(self, array) -> SharedArray:
+        """Publish a large array for cheap access from reducers."""
+        ...
+
+    def close(self) -> None:
+        """Release pools and shared resources. Idempotent."""
+        ...
+
+
+class SerialBackend:
+    """Reference backend: reducers run sequentially in the calling process."""
+
+    name = "serial"
+
+    def run_reducers(self, reducer, groups):
+        return {key: _timed_reduce(reducer, key, values) for key, values in groups.items()}
+
+    def share_array(self, array) -> SharedArray:
+        return SharedArray.wrap(array)
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadBackend:
+    """Reducers run concurrently on a thread pool (shared address space, GIL applies)."""
+
+    name = "threads"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self._max_workers = _check_workers(max_workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def run_reducers(self, reducer, groups):
+        if self._max_workers == 1 or len(groups) <= 1:
+            return {
+                key: _timed_reduce(reducer, key, values) for key, values in groups.items()
+            }
+        pool = self._ensure_pool()
+        futures = {
+            key: pool.submit(_timed_reduce, reducer, key, values)
+            for key, values in groups.items()
+        }
+        return {key: future.result() for key, future in futures.items()}
+
+    def share_array(self, array) -> SharedArray:
+        return SharedArray.wrap(array)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessBackend:
+    """Reducers run on a process pool; large arrays travel via shared memory.
+
+    Reducer callables (and their group values) are pickled per task, so
+    they must be module-level functions or partials thereof. Arrays
+    published with :meth:`share_array` are copied once into shared memory
+    and referenced by name from the workers.
+    """
+
+    name = "processes"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self._max_workers = _check_workers(max_workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._shared: list[SharedArray] = []
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def run_reducers(self, reducer, groups):
+        pool = self._ensure_pool()
+        futures = {
+            key: pool.submit(_timed_reduce, reducer, key, values)
+            for key, values in groups.items()
+        }
+        return {key: future.result() for key, future in futures.items()}
+
+    def share_array(self, array) -> SharedArray:
+        shared = SharedArray.copy_to_shared_memory(array)
+        self._shared.append(shared)
+        return shared
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        while self._shared:
+            self._shared.pop().close()
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "threads": ThreadBackend,
+    "processes": ProcessBackend,
+}
+
+
+def _check_workers(max_workers: int | None) -> int:
+    if max_workers is None:
+        return os.cpu_count() or 1
+    if max_workers < 1:
+        raise InvalidParameterError("max_workers must be >= 1")
+    return int(max_workers)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`resolve_backend` (and the ``backend=`` knobs)."""
+    return tuple(sorted(_BACKENDS))
+
+
+def resolve_backend(
+    backend: str | ExecutorBackend | None = None, *, max_workers: int | None = None
+) -> ExecutorBackend:
+    """Turn a backend name (or ``None``, or a ready instance) into a backend.
+
+    ``None`` preserves the runtime's historical behavior: a thread pool
+    when ``max_workers`` > 1, the serial reference otherwise. Strings are
+    looked up among :func:`available_backends`; for ``"threads"`` and
+    ``"processes"`` a ``max_workers`` of ``None`` means one worker per CPU.
+    """
+    if backend is None:
+        if max_workers is not None and max_workers > 1:
+            return ThreadBackend(max_workers)
+        return SerialBackend()
+    if not isinstance(backend, str):
+        if isinstance(backend, ExecutorBackend):
+            return backend
+        raise InvalidParameterError(
+            f"backend must be a string or an ExecutorBackend; got {backend!r}"
+        )
+    try:
+        factory = _BACKENDS[backend.lower()]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; available: {', '.join(available_backends())}"
+        ) from None
+    if factory is SerialBackend:
+        if max_workers is not None:
+            _check_workers(max_workers)  # validate even though serial ignores it
+        return SerialBackend()
+    return factory(max_workers)

@@ -1,14 +1,51 @@
-"""A simulated MapReduce runtime with memory and work accounting.
+"""A MapReduce runtime with memory accounting and pluggable execution backends.
 
 The paper's algorithms are 2-round MapReduce computations; what their
 analysis actually constrains is (a) the number of rounds, (b) the local
 memory ``M_L`` any single reducer needs, and (c) the aggregate memory
-``M_A`` across reducers. This module provides a small, deterministic,
-single-process MapReduce engine that executes arbitrary mapper/reducer
-functions while *faithfully tracking those three quantities*, plus
-per-reducer wall-clock time so that the "parallel" running time of a
-round can be estimated as the maximum reducer time (the quantity a real
-cluster would exhibit).
+``M_A`` across reducers. This module provides a small, deterministic
+MapReduce engine that executes arbitrary mapper/reducer functions while
+*faithfully tracking those three quantities*, plus per-reducer wall-clock
+time so that the parallel running time of a round can be reported as the
+maximum reducer time (the quantity a real cluster would exhibit).
+
+Execution model
+---------------
+The map and shuffle phases always run in the coordinating process, as
+does all accounting: reduce groups are formed, sized with ``sizeof``, and
+checked against the local memory limit *before* any reducer runs. Only
+then is the reduce phase handed to an
+:class:`~repro.mapreduce.backends.ExecutorBackend`:
+
+* ``backend="serial"`` — reducers run one after the other in the calling
+  process. The deterministic reference; also the default when
+  ``max_workers`` is 1 or unset.
+* ``backend="threads"`` — reducers run on a thread pool. Best when the
+  reducer work is dominated by NumPy kernels (they release the GIL), and
+  when reducers close over large in-process state, since nothing is
+  serialised. The default when ``max_workers`` > 1, matching this
+  engine's historical behavior.
+* ``backend="processes"`` — reducers run on a process pool. Each task
+  pickles the reducer callable and its group values, so reducers must be
+  module-level functions (or partials of them); in exchange the GIL no
+  longer serialises pure-Python reducer work. Large point matrices should
+  be published once via :meth:`MapReduceRuntime.share_array`, which under
+  this backend places them in POSIX shared memory so tasks reference them
+  by name instead of copying them.
+
+Rule of thumb: ``threads`` wins when reducers are thin wrappers around
+vectorised NumPy calls and payloads are large (zero serialisation);
+``processes`` wins when reducers spend significant time in Python
+bytecode (GMM's incremental loop, radius search probes) or when true CPU
+isolation is wanted — provided the per-task payload is kept small, e.g.
+index arrays over a shared point matrix.
+
+Accounting is backend-agnostic by construction: every backend returns the
+same per-group outputs and in-reducer timings, the runtime collects them
+in deterministic (insertion) key order, and the recorded
+:class:`RoundStats` are therefore identical across backends modulo the
+timing values themselves. The cross-backend equivalence suite in
+``tests/mapreduce/test_backends.py`` enforces this.
 
 The engine is intentionally general (key-value pairs, one mapper and one
 reducer per round) so that other algorithms can be expressed on it, but
@@ -19,13 +56,13 @@ the k-center drivers in :mod:`repro.core.mr_kcenter` and
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
 from ..exceptions import InvalidParameterError, MemoryBudgetExceededError
+from .backends import ExecutorBackend, SharedArray, resolve_backend
 
 __all__ = ["KeyValue", "RoundStats", "JobStats", "MapReduceRuntime", "default_sizeof"]
 
@@ -88,7 +125,7 @@ class RoundStats:
 
     @property
     def parallel_time(self) -> float:
-        """Simulated parallel reduce time: the slowest reducer of the round."""
+        """Parallel reduce time estimate: the slowest reducer of the round."""
         return max(self.reducer_times.values(), default=0.0)
 
     @property
@@ -120,7 +157,7 @@ class JobStats:
 
     @property
     def parallel_time(self) -> float:
-        """Simulated parallel time: per round, map time plus slowest reducer."""
+        """Parallel time estimate: per round, map time plus slowest reducer."""
         return sum(r.map_time + r.parallel_time for r in self.rounds)
 
     @property
@@ -130,7 +167,7 @@ class JobStats:
 
 
 class MapReduceRuntime:
-    """Deterministic single-process MapReduce engine with accounting.
+    """MapReduce engine with memory accounting and a pluggable reduce executor.
 
     Parameters
     ----------
@@ -143,12 +180,19 @@ class MapReduceRuntime:
         Item-size function used for memory accounting; defaults to
         :func:`default_sizeof`.
     max_workers:
-        Number of threads used to execute reducers concurrently. The
-        default of 1 runs everything sequentially (fully deterministic
-        timing); larger values give genuine speed-ups for NumPy-heavy
-        reducers (which release the GIL) while keeping the output order
-        deterministic. Reducer functions must not share mutable state
-        unsafely when this is raised above 1.
+        Worker count for the pooled backends. ``None`` means 1 for the
+        default (backend-less) configuration and one worker per CPU when
+        an explicit ``"threads"``/``"processes"`` backend is named.
+    backend:
+        ``"serial"``, ``"threads"``, ``"processes"``, an
+        :class:`~repro.mapreduce.backends.ExecutorBackend` instance, or
+        ``None`` (historical behavior: threads when ``max_workers`` > 1,
+        serial otherwise). See the module docstring for when each backend
+        wins. Reducers must not share mutable state unsafely on the
+        pooled backends, and must be picklable for ``"processes"``.
+        Backends named by string are owned and closed by the runtime;
+        an instance passed in stays open across :meth:`close` so its
+        pool can be reused, and is closed by the caller.
 
     Examples
     --------
@@ -168,18 +212,61 @@ class MapReduceRuntime:
         *,
         local_memory_limit: int | None = None,
         sizeof: Callable[[object], int] = default_sizeof,
-        max_workers: int = 1,
+        max_workers: int | None = None,
+        backend: str | ExecutorBackend | None = None,
     ) -> None:
         if local_memory_limit is not None and local_memory_limit < 1:
             raise InvalidParameterError("local_memory_limit must be >= 1 or None")
-        if max_workers < 1:
+        if max_workers is not None and max_workers < 1:
             raise InvalidParameterError("max_workers must be >= 1")
         self._local_memory_limit = local_memory_limit
         self._sizeof = sizeof
-        self._max_workers = int(max_workers)
+        # Backends named by string (or defaulted) are created, and therefore
+        # owned and closed, by this runtime; instances passed in belong to
+        # the caller, whose pool must survive (and be reusable after) close().
+        self._owns_backend = backend is None or isinstance(backend, str)
+        self._backend = resolve_backend(backend, max_workers=max_workers)
+        self._shared_arrays: list[SharedArray] = []
         self._stats = JobStats()
 
-    # -- accounting ------------------------------------------------------------------
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def backend(self) -> ExecutorBackend:
+        """The executor backend running this runtime's reduce phases."""
+        return self._backend
+
+    def share_array(self, array) -> SharedArray:
+        """Publish a large array for cheap access from reducers on any backend.
+
+        Arrays shared through the runtime are released by :meth:`close`
+        even when the backend itself is caller-owned.
+        """
+        shared = self._backend.share_array(array)
+        self._shared_arrays.append(shared)
+        return shared
+
+    def close(self) -> None:
+        """Release resources this runtime owns. Idempotent.
+
+        Arrays published via :meth:`share_array` are always released; the
+        backend's pools are shut down only when the runtime created the
+        backend itself (from a name or the default). A backend instance
+        passed in by the caller is left running so it can be reused across
+        runtimes — the caller closes it.
+        """
+        while self._shared_arrays:
+            self._shared_arrays.pop().close()
+        if self._owns_backend:
+            self._backend.close()
+
+    def __enter__(self) -> "MapReduceRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- accounting --------------------------------------------------------------------
 
     @property
     def stats(self) -> JobStats:
@@ -190,7 +277,25 @@ class MapReduceRuntime:
         """Forget all accounting from previous rounds."""
         self._stats = JobStats()
 
-    # -- execution -------------------------------------------------------------------
+    def _account_groups(
+        self, stats: RoundStats, groups: dict[Hashable, list]
+    ) -> None:
+        """Record reducer input sizes and enforce the local memory limit.
+
+        Runs in the coordinator before any reducer is dispatched, so the
+        accounting (and limit enforcement) is identical on every backend.
+        """
+        stats.n_reducers = len(groups)
+        for key, values in groups.items():
+            size = sum(self._sizeof(v) for v in values)
+            stats.reducer_input_sizes[key] = size
+            if self._local_memory_limit is not None and size > self._local_memory_limit:
+                raise MemoryBudgetExceededError(
+                    f"reducer for key {key!r} received {size} items, "
+                    f"exceeding the local memory limit of {self._local_memory_limit}"
+                )
+
+    # -- execution ---------------------------------------------------------------------
 
     def execute_round(
         self,
@@ -204,7 +309,8 @@ class MapReduceRuntime:
         more ``(key, value)`` pairs; values with equal keys are grouped and
         handed to ``reducer`` as a list (in emission order, making the
         engine deterministic); the concatenation of all reducer outputs is
-        returned.
+        returned, in the deterministic insertion order of the reduce keys
+        regardless of the backend.
         """
         stats = RoundStats(round_index=self._stats.n_rounds)
 
@@ -215,39 +321,14 @@ class MapReduceRuntime:
                 groups.setdefault(out_key, []).append(out_value)
         stats.map_time = time.perf_counter() - map_start
 
-        stats.n_reducers = len(groups)
-        for key, values in groups.items():
-            size = sum(self._sizeof(v) for v in values)
-            stats.reducer_input_sizes[key] = size
-            if self._local_memory_limit is not None and size > self._local_memory_limit:
-                raise MemoryBudgetExceededError(
-                    f"reducer for key {key!r} received {size} items, "
-                    f"exceeding the local memory limit of {self._local_memory_limit}"
-                )
+        self._account_groups(stats, groups)
 
-        def run_reducer(key, values) -> tuple[list[KeyValue], float]:
-            reduce_start = time.perf_counter()
-            produced = list(reducer(key, values))
-            return produced, time.perf_counter() - reduce_start
-
+        results = self._backend.run_reducers(reducer, groups)
         outputs: list[KeyValue] = []
-        if self._max_workers == 1 or len(groups) <= 1:
-            for key, values in groups.items():
-                produced, elapsed = run_reducer(key, values)
-                outputs.extend(produced)
-                stats.reducer_times[key] = elapsed
-        else:
-            # Reducers run concurrently, but their outputs are concatenated in
-            # the deterministic (insertion) order of the reduce keys.
-            with ThreadPoolExecutor(max_workers=self._max_workers) as executor:
-                futures = {
-                    key: executor.submit(run_reducer, key, values)
-                    for key, values in groups.items()
-                }
-            for key in groups:
-                produced, elapsed = futures[key].result()
-                outputs.extend(produced)
-                stats.reducer_times[key] = elapsed
+        for key in groups:
+            produced, elapsed = results[key]
+            outputs.extend(produced)
+            stats.reducer_times[key] = elapsed
 
         self._stats.rounds.append(stats)
         return outputs

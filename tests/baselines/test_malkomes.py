@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.baselines import MalkomesKCenter, MalkomesKCenterOutliers
 from repro.core import MapReduceKCenter, MapReduceKCenterOutliers
 

@@ -58,6 +58,28 @@ class TestPlanMapReduce:
         with pytest.raises(ValueError):
             plan_mapreduce(1000, 5, practical_multiplier=0.5)
 
+    def test_backend_recorded_with_matching_workers(self):
+        plan = plan_mapreduce(1_000_000, 100, doubling_dimension=2, backend="processes")
+        assert plan.backend == "processes"
+        assert 1 <= plan.suggested_workers <= plan.ell
+
+    def test_serial_backend_plans_one_worker(self):
+        plan = plan_mapreduce(1_000_000, 100, doubling_dimension=2, backend="serial")
+        assert plan.backend == "serial"
+        assert plan.suggested_workers == 1
+
+    def test_default_backend_is_valid(self):
+        from repro.mapreduce import available_backends
+
+        plan = plan_mapreduce(1000, 5)
+        assert plan.backend in available_backends()
+
+    def test_unknown_backend_rejected(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            plan_mapreduce(1000, 5, backend="spark")
+
     def test_invalid_dimension(self):
         with pytest.raises(ValueError):
             plan_mapreduce(1000, 5, doubling_dimension=-1)

@@ -19,7 +19,6 @@ from repro.core import (
     MapReduceKCenterOutliers,
     SequentialKCenter,
     SequentialKCenterOutliers,
-    clustering_radius,
     radius_with_outliers,
 )
 from repro.evaluation import (

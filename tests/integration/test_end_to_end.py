@@ -19,7 +19,7 @@ from repro.datasets import (
     wiki_like,
 )
 from repro.exceptions import InvalidParameterError
-from repro.streaming import ArrayStream, GeneratorStream, StreamingRunner
+from repro.streaming import GeneratorStream, StreamingRunner
 from repro.datasets import inflate_streaming
 
 

@@ -1,0 +1,301 @@
+"""Cross-backend equivalence suite for the executor backends.
+
+The contract under test: every backend (serial, threads, processes)
+produces byte-identical round outputs, identical memory accounting, and —
+through the MapReduce k-center drivers — identical centers and radii.
+Only the recorded timings may differ. This is what lets the parallel
+backends inherit the paper-faithfulness arguments of the serial
+reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MapReduceKCenter, MapReduceKCenterOutliers
+from repro.exceptions import InvalidParameterError, MemoryBudgetExceededError
+from repro.mapreduce import (
+    MapReduceRuntime,
+    ProcessBackend,
+    SerialBackend,
+    SharedArray,
+    ThreadBackend,
+    available_backends,
+    default_sizeof,
+    resolve_backend,
+)
+from repro.metricspace.points import WeightedPoints
+
+BACKENDS = ("serial", "threads", "processes")
+
+
+# Module-level so the rounds are picklable for the process backend.
+def modulo_mapper(_key, values):
+    for value in values:
+        yield (value % 4, value)
+
+
+def summing_reducer(key, values):
+    yield (key, sum(values))
+
+
+def regroup_mapper(_key, value):
+    yield (0, value)
+
+
+def shared_lookup_reducer(key, values, points=None):
+    # Exercises SharedArray access from inside a reducer.
+    yield (key, float(points.array[np.asarray(values)].sum()))
+
+
+class TestResolveBackend:
+    def test_available_backends(self):
+        assert available_backends() == ("processes", "serial", "threads")
+
+    def test_default_is_serial(self):
+        assert resolve_backend(None).name == "serial"
+        assert resolve_backend(None, max_workers=1).name == "serial"
+
+    def test_default_with_workers_is_threads(self):
+        backend = resolve_backend(None, max_workers=3)
+        assert backend.name == "threads"
+        assert backend.max_workers == 3
+
+    def test_names_resolve(self):
+        for name in BACKENDS:
+            backend = resolve_backend(name, max_workers=2)
+            assert backend.name == name
+            backend.close()
+
+    def test_instance_passthrough(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown backend"):
+            resolve_backend("spark")
+
+    def test_non_backend_object_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_backend(42)
+
+    def test_invalid_workers_rejected(self):
+        for name in ("threads", "processes", "serial"):
+            with pytest.raises(InvalidParameterError):
+                resolve_backend(name, max_workers=0)
+
+
+class TestRoundEquivalence:
+    @pytest.fixture()
+    def pairs(self):
+        return [(None, list(range(40)))]
+
+    def test_outputs_identical_across_backends(self, pairs):
+        reference = None
+        for name in BACKENDS:
+            with MapReduceRuntime(backend=name, max_workers=2) as runtime:
+                output = runtime.execute_round(pairs, modulo_mapper, summing_reducer)
+            if reference is None:
+                reference = output
+            else:
+                assert output == reference
+
+    def test_stats_identical_modulo_timings(self, pairs):
+        recorded = {}
+        for name in BACKENDS:
+            with MapReduceRuntime(backend=name, max_workers=2) as runtime:
+                runtime.execute_round(pairs, modulo_mapper, summing_reducer)
+                stats = runtime.stats.rounds[0]
+                recorded[name] = (
+                    stats.n_reducers,
+                    dict(stats.reducer_input_sizes),
+                    sorted(stats.reducer_times),
+                )
+        assert recorded["threads"] == recorded["serial"]
+        assert recorded["processes"] == recorded["serial"]
+
+    def test_memory_limit_enforced_on_every_backend(self, pairs):
+        for name in BACKENDS:
+            with MapReduceRuntime(backend=name, local_memory_limit=2) as runtime:
+                with pytest.raises(MemoryBudgetExceededError):
+                    runtime.execute_round(pairs, modulo_mapper, summing_reducer)
+
+    def test_shared_array_reducer(self):
+        from functools import partial
+
+        data = np.arange(20.0).reshape(10, 2)
+        pairs = [(None, list(range(10)))]
+        reference = None
+        for name in BACKENDS:
+            with MapReduceRuntime(backend=name, max_workers=2) as runtime:
+                shared = runtime.share_array(data)
+                reducer = partial(shared_lookup_reducer, points=shared)
+                output = runtime.execute_round(pairs, modulo_mapper, reducer)
+            if reference is None:
+                reference = output
+            else:
+                assert output == reference
+
+
+class TestSharedArray:
+    def test_wrap_is_zero_copy(self):
+        data = np.arange(6.0).reshape(3, 2)
+        shared = SharedArray.wrap(data)
+        assert shared.array is data
+        assert shared.shape == (3, 2)
+        assert len(shared) == 3
+        np.testing.assert_array_equal(shared[1], data[1])
+
+    def test_wrap_refuses_pickling(self):
+        import pickle
+
+        with pytest.raises(TypeError, match="cannot be sent"):
+            pickle.dumps(SharedArray.wrap(np.zeros(3)))
+
+    def test_shared_memory_roundtrip(self):
+        import pickle
+
+        data = np.arange(12.0).reshape(4, 3)
+        shared = SharedArray.copy_to_shared_memory(data)
+        try:
+            np.testing.assert_array_equal(shared.array, data)
+            assert not shared.array.flags.writeable
+            attached = pickle.loads(pickle.dumps(shared))
+            np.testing.assert_array_equal(attached.array, data)
+        finally:
+            shared.close()
+
+    def test_close_is_idempotent(self):
+        shared = SharedArray.copy_to_shared_memory(np.zeros((2, 2)))
+        shared.close()
+        shared.close()
+
+
+class TestBackendLifecycle:
+    def test_runtime_close_idempotent(self):
+        runtime = MapReduceRuntime(backend="processes", max_workers=2)
+        runtime.execute_round([(None, [1, 2, 3])], modulo_mapper, summing_reducer)
+        runtime.close()
+        runtime.close()
+
+    def test_process_backend_releases_shared_segments(self):
+        backend = ProcessBackend(max_workers=2)
+        shared = backend.share_array(np.ones((4, 2)))
+        backend.close()
+        assert backend._shared == []
+        # The segment is gone; closing the handle again must not raise.
+        shared.close()
+
+    def test_thread_backend_pool_reuse(self):
+        backend = ThreadBackend(max_workers=2)
+        with MapReduceRuntime(backend=backend) as runtime:
+            first = runtime.execute_round([(None, list(range(8)))], modulo_mapper, summing_reducer)
+            second = runtime.execute_round(first, regroup_mapper, summing_reducer)
+        assert second == [(0, sum(range(8)))]
+        backend.close()
+
+    def test_caller_owned_backend_survives_runtime_close(self):
+        backend = ProcessBackend(max_workers=2)
+        try:
+            with MapReduceRuntime(backend=backend) as runtime:
+                runtime.execute_round([(None, [1, 2, 3])], modulo_mapper, summing_reducer)
+            # The pool must still be usable after the runtime closed.
+            assert backend._pool is not None
+            with MapReduceRuntime(backend=backend) as runtime:
+                output = runtime.execute_round([(None, [4, 5, 6])], modulo_mapper, summing_reducer)
+            assert dict(output) == {0: 4, 1: 5, 2: 6}
+        finally:
+            backend.close()
+        assert backend._pool is None
+
+    def test_runtime_releases_arrays_shared_on_caller_owned_backend(self):
+        backend = ProcessBackend(max_workers=2)
+        try:
+            mine = backend.share_array(np.ones((3, 2)))
+            with MapReduceRuntime(backend=backend) as runtime:
+                runtime.share_array(np.zeros((5, 2)))
+            # The runtime released its own array but not the caller's.
+            np.testing.assert_array_equal(mine.array, np.ones((3, 2)))
+        finally:
+            backend.close()
+
+
+class TestSolverEquivalence:
+    """MapReduce drivers must give identical solutions on every backend."""
+
+    def test_mr_kcenter(self, medium_blobs):
+        kwargs = dict(ell=4, coreset_multiplier=2, random_state=42)
+        results = {
+            name: MapReduceKCenter(6, backend=name, max_workers=2, **kwargs).fit(medium_blobs)
+            for name in BACKENDS
+        }
+        reference = results["serial"]
+        for result in results.values():
+            assert result.radius == pytest.approx(reference.radius)
+            np.testing.assert_array_equal(result.center_indices, reference.center_indices)
+            assert result.coreset_size == reference.coreset_size
+            assert result.stats.peak_local_memory == reference.stats.peak_local_memory
+            assert result.stats.aggregate_memory == reference.stats.aggregate_memory
+
+    def test_mr_outliers_deterministic(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        kwargs = dict(ell=4, coreset_multiplier=2, random_state=42)
+        results = {
+            name: MapReduceKCenterOutliers(5, z, backend=name, max_workers=2, **kwargs).fit(data)
+            for name in BACKENDS
+        }
+        reference = results["serial"]
+        for result in results.values():
+            assert result.radius == pytest.approx(reference.radius)
+            np.testing.assert_array_equal(result.center_indices, reference.center_indices)
+            assert result.search_probes == reference.search_probes
+            assert result.stats.peak_local_memory == reference.stats.peak_local_memory
+
+    def test_mr_outliers_randomized(self, blobs_with_outliers):
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        kwargs = dict(
+            ell=4, coreset_multiplier=2, randomized=True,
+            include_log_term=False, random_state=7,
+        )
+        results = {
+            name: MapReduceKCenterOutliers(5, z, backend=name, max_workers=2, **kwargs).fit(data)
+            for name in BACKENDS
+        }
+        reference = results["serial"]
+        for result in results.values():
+            assert result.radius == pytest.approx(reference.radius)
+            assert result.coreset_size == reference.coreset_size
+
+    def test_processes_with_memory_limit(self, medium_blobs):
+        solver = MapReduceKCenter(
+            6, ell=4, coreset_multiplier=2, random_state=42,
+            backend="processes", max_workers=2, local_memory_limit=10,
+        )
+        with pytest.raises(MemoryBudgetExceededError):
+            solver.fit(medium_blobs)
+
+
+class TestDefaultSizeofEdgeCases:
+    def test_zero_d_array(self):
+        assert default_sizeof(np.array(3.5)) == 1
+
+    def test_zero_row_array(self):
+        assert default_sizeof(np.empty((0, 4))) == 0
+
+    def test_generator_counts_as_one(self):
+        # Generators have no len(); they must not be consumed by accounting.
+        gen = (i for i in range(100))
+        assert default_sizeof(gen) == 1
+        assert next(gen) == 0  # untouched
+
+    def test_weighted_points_payload(self):
+        payload = WeightedPoints(
+            points=np.zeros((7, 2)), weights=np.ones(7), origin_indices=np.arange(7)
+        )
+        assert default_sizeof(payload) == 7
+
+    def test_string_counts_characters(self):
+        assert default_sizeof("abcd") == 4

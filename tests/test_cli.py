@@ -27,6 +27,29 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure99"])
 
+    def test_backend_defaults(self):
+        args = build_parser().parse_args(["solve", "mr-kcenter"])
+        assert args.backend is None
+        assert args.workers is None
+
+    def test_backend_choices(self):
+        args = build_parser().parse_args(
+            ["solve", "mr-outliers", "--backend", "processes", "--workers", "2"]
+        )
+        assert args.backend == "processes"
+        assert args.workers == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "mr-kcenter", "--backend", "spark"])
+
+    def test_backend_rejected_where_not_honored(self):
+        # Subcommands that would silently ignore the knob must reject it.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "sequential-kcenter", "--backend", "serial"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure2", "--backend", "processes"])
+        args = build_parser().parse_args(["figure7", "--backend", "processes"])
+        assert args.backend == "processes"
+
 
 class TestMain:
     def test_solve_mr_kcenter(self, capsys):
@@ -47,6 +70,15 @@ class TestMain:
         ])
         assert exit_code == 0
         assert "randomized" in capsys.readouterr().out
+
+    def test_solve_mr_kcenter_on_threads_backend(self, capsys):
+        exit_code = main([
+            "solve", "mr-kcenter", "--dataset", "power",
+            "--n-points", "300", "--k", "5", "--ell", "2", "--mu", "2",
+            "--backend", "threads", "--workers", "2",
+        ])
+        assert exit_code == 0
+        assert "threads" in capsys.readouterr().out
 
     def test_solve_sequential_outliers(self, capsys):
         exit_code = main([
