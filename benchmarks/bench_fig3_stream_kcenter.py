@@ -15,7 +15,7 @@ from repro.core import CoresetStreamKCenter
 from repro.evaluation import figure3_stream_kcenter
 from repro.streaming import ArrayStream, StreamingRunner
 
-from .conftest import attach_records, bench_seed
+from .conftest import attach_records, bench_batch_size, bench_seed
 
 
 def test_figure3_stream_kcenter(benchmark, paper_datasets, bench_k_values):
@@ -24,6 +24,7 @@ def test_figure3_stream_kcenter(benchmark, paper_datasets, bench_k_values):
         k_values=bench_k_values,
         multipliers=(1, 2, 4, 8, 16),
         base_instances=(1, 2, 4, 8, 16),
+        batch_size=bench_batch_size(),
         random_state=bench_seed(),
     )
 
@@ -32,7 +33,9 @@ def test_figure3_stream_kcenter(benchmark, paper_datasets, bench_k_values):
 
     def run_stream():
         algorithm = CoresetStreamKCenter(k, coreset_multiplier=8)
-        return StreamingRunner().run(algorithm, ArrayStream(dataset, shuffle=True, random_state=0))
+        return StreamingRunner(batch_size=bench_batch_size()).run(
+            algorithm, ArrayStream(dataset, shuffle=True, random_state=0)
+        )
 
     benchmark.pedantic(run_stream, rounds=3, iterations=1)
 

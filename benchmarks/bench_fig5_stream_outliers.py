@@ -19,7 +19,7 @@ from repro.datasets import inject_outliers
 from repro.evaluation import figure5_stream_outliers
 from repro.streaming import ArrayStream, StreamingRunner
 
-from .conftest import attach_records, bench_seed
+from .conftest import attach_records, bench_batch_size, bench_seed
 
 
 K, Z = 10, 60
@@ -33,6 +33,7 @@ def test_figure5_stream_outliers(benchmark, paper_datasets):
         multipliers=(1, 2, 4, 8, 16),
         base_instances=(1, 2),
         base_buffer_capacity=K * Z,
+        batch_size=bench_batch_size(),
         random_state=bench_seed(),
     )
 
@@ -40,7 +41,7 @@ def test_figure5_stream_outliers(benchmark, paper_datasets):
 
     def run_stream():
         algorithm = CoresetStreamOutliers(K, Z, coreset_multiplier=8)
-        return StreamingRunner().run(
+        return StreamingRunner(batch_size=bench_batch_size()).run(
             algorithm, ArrayStream(injected.points, shuffle=True, random_state=0)
         )
 

@@ -50,6 +50,24 @@ def test_outliers_cluster_single_run(benchmark):
     assert result.n_centers <= 20
 
 
+def test_outliers_cluster_radius_probes(benchmark):
+    # The radius-probe pattern of search_radius: many run() calls over the
+    # same cached pairwise matrix. Tracks the cost of the per-probe setup
+    # (boolean selection balls + incremental ball-weight maintenance).
+    points = _points(900)
+    coreset = WeightedPoints(points=points, weights=np.ones(points.shape[0]))
+    solver = OutliersClusterSolver(coreset, k=15, eps_hat=1 / 6)
+    radii = np.quantile(solver.candidate_radii(), np.linspace(0.05, 0.6, 12))
+
+    def probe_all():
+        return [solver.run(float(r)).uncovered_weight for r in radii]
+
+    weights = benchmark(probe_all)
+    assert len(weights) == 12
+    # Larger radii never leave more weight uncovered.
+    assert all(a >= b - 1e-9 for a, b in zip(weights, weights[1:]))
+
+
 def test_radius_search(benchmark):
     points = _points(600)
     coreset = WeightedPoints(points=points, weights=np.ones(points.shape[0]))
@@ -65,6 +83,21 @@ def test_streaming_coreset_throughput(benchmark):
         coreset = StreamingCoreset(tau=200)
         for point in points:
             coreset.process(point)
+        return coreset
+
+    coreset = benchmark(run)
+    assert coreset.size <= 200
+
+
+def test_streaming_coreset_batch_throughput(benchmark):
+    # The vectorized update rule: same work as the per-point benchmark
+    # above, consumed in 1024-point chunks.
+    points = _points(8000)
+
+    def run():
+        coreset = StreamingCoreset(tau=200)
+        for start in range(0, points.shape[0], 1024):
+            coreset.process_batch(points[start : start + 1024])
         return coreset
 
     coreset = benchmark(run)

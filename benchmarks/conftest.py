@@ -45,6 +45,11 @@ def pytest_addoption(parser):
                     help="MapReduce executor backend for backend-aware benchmarks")
     group.addoption("--scaling-points", type=int, default=100_000,
                     help="instance size for the true wall-clock scaling benchmark")
+    group.addoption("--batch-size", type=int, default=1024,
+                    help="streaming chunk size for the batched streaming benchmarks "
+                         "(0 = per-point path)")
+    group.addoption("--stream-points", type=int, default=100_000,
+                    help="stream length for the streaming throughput benchmark")
 
 
 def pytest_configure(config):
@@ -82,6 +87,17 @@ def bench_backend() -> str | None:
 def scaling_points() -> int:
     """Instance size for the true wall-clock scaling benchmark."""
     return int(_option("--scaling-points", default=100_000))
+
+
+def bench_batch_size() -> int | None:
+    """Streaming chunk size requested on the command line (``None`` = per point)."""
+    value = int(_option("--batch-size", default=1024))
+    return None if value == 0 else value
+
+
+def stream_points() -> int:
+    """Stream length for the streaming throughput benchmark."""
+    return int(_option("--stream-points", default=100_000))
 
 
 @pytest.fixture(scope="session")

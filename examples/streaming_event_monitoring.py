@@ -13,6 +13,11 @@ the spam), peak working memory, and throughput — the axes of Figure 5.
 The stream is consumed through a generator, so the full dataset is never
 materialised by the algorithms.
 
+The runs use the batched streaming engine (events are ingested in
+1024-point chunks, the realistic shape for a high-rate pipeline); the
+last row repeats the mu=8 configuration on the per-point path to show
+that the answer is identical and only the throughput changes.
+
 Run with:  python examples/streaming_event_monitoring.py
 """
 
@@ -35,7 +40,7 @@ def main() -> None:
     injected = inject_outliers(events, z, random_state=1)
     stream_data = injected.points
 
-    runner = StreamingRunner()
+    runner = StreamingRunner(batch_size=1024)
     records = []
 
     for mu in (1, 2, 4, 8):
@@ -61,11 +66,28 @@ def main() -> None:
         }
     )
 
+    # Same configuration, per-point path: identical answer, lower throughput.
+    per_point = CoresetStreamOutliers(k, z, coreset_multiplier=8)
+    report = StreamingRunner().run(
+        per_point, ArrayStream(stream_data, shuffle=True, random_state=2)
+    )
+    records.append(
+        {
+            "algorithm": "CoresetOutliers mu=8 (per-point)",
+            "peak memory (points)": report.peak_memory,
+            "radius (excl. spam)": radius_with_outliers(stream_data, report.result.centers, z),
+            "throughput (events/s)": report.throughput,
+        }
+    )
+
     print(f"Event stream: {n_events} events + {z} spam, k={k} topics\n")
     print(format_records(records))
     print("\nThe coreset algorithm keeps a working set of mu*(k+z) points and "
           "trades memory for quality; the buffered baseline needs a much "
-          "larger working set for comparable radii and runs slower.")
+          "larger working set for comparable radii and runs slower. The "
+          "batched rows ingest 1024-event chunks through the vectorized "
+          "update rule — same answers as the per-point row, roughly an "
+          "order of magnitude more events per second.")
 
 
 if __name__ == "__main__":

@@ -69,10 +69,19 @@ class DoublingStreamKCenter(StreamingAlgorithm):
         """Feed one stream point into the doubling algorithm."""
         self._coreset.process(point)
 
+    def process_batch(self, batch: np.ndarray) -> None:
+        """Feed a chunk of stream points through the vectorized update rule."""
+        self._coreset.process_batch(batch)
+
     @property
     def working_memory_size(self) -> int:
         """Stored points (at most ``k + 1``)."""
         return self._coreset.working_memory_size
+
+    @property
+    def peak_working_memory_size(self) -> int:
+        """Exact peak tracked by the coreset, drive-path independent."""
+        return self._coreset.peak_working_memory_size
 
     def finalize(self) -> DoublingStreamSolution:
         """Return the maintained centers and the certified radius bounds."""

@@ -77,6 +77,8 @@ class _GuessInstance:
         self.guess = float(initial_guess)
         self._centers: list[np.ndarray] = []
         self.restarts = 0
+        #: Largest center count ever held (k + 1 transiently on escalation).
+        self.peak_size = 0
 
     @property
     def centers(self) -> np.ndarray:
@@ -111,12 +113,52 @@ class _GuessInstance:
         if self._covered(point):
             return
         self._centers.append(np.array(point))
+        self.peak_size = max(self.peak_size, len(self._centers))
         while len(self._centers) > self._k:
             # The guess was too small: k+1 centers pairwise > 2*guess apart
             # certify that the optimum exceeds guess. Double and re-merge.
             self.guess *= 2.0
             self.restarts += 1
             self._remerge()
+
+    def process_batch(self, batch: np.ndarray) -> None:
+        """Chunked version of :meth:`process`; equivalent to a row-by-row loop."""
+        position = 0
+        n = batch.shape[0]
+        while position < n:
+            if not self._centers:
+                self._centers.append(np.array(batch[position]))
+                self.peak_size = max(self.peak_size, 1)
+                position += 1
+                continue
+            position = self._sweep(batch, position)
+
+    def _sweep(self, batch: np.ndarray, start: int) -> int:
+        """Process ``batch[start:]`` until exhausted or the guess escalates."""
+        tail = batch[start:]
+        dmin, _ = self._metric.nearest(tail, np.vstack(self._centers))
+        pos = 0
+        m = tail.shape[0]
+        while pos < m:
+            uncovered = np.flatnonzero(dmin[pos:] > 2.0 * self.guess)
+            if uncovered.size == 0:
+                return start + m
+            first = pos + int(uncovered[0])
+            self._centers.append(np.array(tail[first]))
+            self.peak_size = max(self.peak_size, len(self._centers))
+            pos = first + 1
+            if len(self._centers) > self._k:
+                while len(self._centers) > self._k:
+                    self.guess *= 2.0
+                    self.restarts += 1
+                    self._remerge()
+                # The center set and guess changed: cached distances are
+                # stale, so the caller restarts the sweep on the rest.
+                return start + pos
+            if pos < m:
+                to_new = self._metric.cdist(tail[pos:], tail[first].reshape(1, -1))[:, 0]
+                np.minimum(dmin[pos:], to_new, out=dmin[pos:])
+        return start + m
 
 
 class BaseStreamKCenter(StreamingAlgorithm):
@@ -175,10 +217,42 @@ class BaseStreamKCenter(StreamingAlgorithm):
         for instance in self._instances:
             instance.process(point)
 
+    def process_batch(self, batch: np.ndarray) -> None:
+        """Feed a chunk of stream points to every parallel instance."""
+        batch = np.atleast_2d(np.asarray(batch, dtype=np.float64))
+        self._n_processed += batch.shape[0]
+        position = 0
+        while position < batch.shape[0] and not self._instances:
+            self._buffer.append(np.array(batch[position]))
+            position += 1
+            if len(self._buffer) == self.k + 1:
+                self._initialize()
+        if position < batch.shape[0]:
+            tail = batch[position:]
+            for instance in self._instances:
+                instance.process_batch(tail)
+
     @property
     def working_memory_size(self) -> int:
         """Stored points across the buffer and every instance."""
         return len(self._buffer) + sum(instance.size for instance in self._instances)
+
+    @property
+    def peak_working_memory_size(self) -> int:
+        """Provisioned peak: the initial buffer or the per-instance peaks summed.
+
+        Summing per-instance peaks slightly over-approximates the largest
+        instantaneous total (instances need not peak simultaneously), but
+        it is the space each instance must be provisioned for, is exact
+        per instance, and — unlike harness sampling — does not depend on
+        the batch size the stream was driven with.
+        """
+        if not self._instances:
+            return len(self._buffer)
+        return max(
+            self.k + 1,
+            sum(instance.peak_size for instance in self._instances),
+        )
 
     def finalize(self) -> BaseStreamSolution:
         """Return the centers of the instance with the smallest surviving guess."""
@@ -244,6 +318,11 @@ class _OutlierGuessInstance:
         self._free: list[np.ndarray] = []
         self._capacity = buffer_capacity
         self.restarts = 0
+        #: Largest centers + free-buffer total ever held.
+        self.peak_size = 0
+
+    def _note_memory(self) -> None:
+        self.peak_size = max(self.peak_size, self.size)
 
     @property
     def size(self) -> int:
@@ -280,6 +359,7 @@ class _OutlierGuessInstance:
                 break
             center = free_points[candidate]
             self._centers.append(np.array(center))
+            self._note_memory()
             keep_mask = self._metric.point_to_points(center, free_points) > 4.0 * self.guess
             self._free = [free_points[i] for i in np.flatnonzero(keep_mask)]
 
@@ -308,12 +388,47 @@ class _OutlierGuessInstance:
         if self._covered_by_centers(point):
             return
         self._free.append(np.array(point))
+        self._note_memory()
         if len(self._free) <= self._capacity:
             return
         self._consolidate()
         while len(self._free) > self._capacity:
             self._escalate()
             self._consolidate()
+
+    def process_batch(self, batch: np.ndarray) -> None:
+        """Chunked version of :meth:`process`; equivalent to a row-by-row loop.
+
+        Coverage against the current centers is computed for the whole
+        tail at once; uncovered points are appended to the free buffer in
+        bulk up to the overflow trigger, at which point consolidation (and
+        possibly escalation) runs and — since centers and guess may have
+        changed — the remaining tail is reswept.
+        """
+        position = 0
+        n = batch.shape[0]
+        while position < n:
+            tail = batch[position:]
+            if self._centers:
+                dmin, _ = self._metric.nearest(tail, np.vstack(self._centers))
+                uncovered = np.flatnonzero(dmin > 4.0 * self.guess)
+            else:
+                uncovered = np.arange(tail.shape[0])
+            # The (room)-th uncovered append pushes the buffer past capacity
+            # and triggers consolidation, exactly as in the per-point path.
+            room = self._capacity + 1 - len(self._free)
+            if uncovered.size < room:
+                self._free.extend(np.array(tail[i]) for i in uncovered)
+                self._note_memory()
+                return
+            taken = uncovered[:room]
+            self._free.extend(np.array(tail[i]) for i in taken)
+            self._note_memory()
+            position += int(taken[-1]) + 1
+            self._consolidate()
+            while len(self._free) > self._capacity:
+                self._escalate()
+                self._consolidate()
 
 
 class BaseStreamOutliers(StreamingAlgorithm):
@@ -384,10 +499,39 @@ class BaseStreamOutliers(StreamingAlgorithm):
         for instance in self._instances:
             instance.process(point)
 
+    def process_batch(self, batch: np.ndarray) -> None:
+        """Feed a chunk of stream points to every parallel instance."""
+        batch = np.atleast_2d(np.asarray(batch, dtype=np.float64))
+        self._n_processed += batch.shape[0]
+        position = 0
+        while position < batch.shape[0] and not self._instances:
+            self._buffer.append(np.array(batch[position]))
+            position += 1
+            if len(self._buffer) == self.k + self.z + 1:
+                self._initialize()
+        if position < batch.shape[0]:
+            tail = batch[position:]
+            for instance in self._instances:
+                instance.process_batch(tail)
+
     @property
     def working_memory_size(self) -> int:
         """Stored points across the buffer and every instance."""
         return len(self._buffer) + sum(instance.size for instance in self._instances)
+
+    @property
+    def peak_working_memory_size(self) -> int:
+        """Provisioned peak: the initial buffer or the per-instance peaks summed.
+
+        Same convention as :attr:`BaseStreamKCenter.peak_working_memory_size`:
+        exact per instance and independent of the drive path's batch size.
+        """
+        if not self._instances:
+            return len(self._buffer)
+        return max(
+            self.k + self.z + 1,
+            sum(instance.peak_size for instance in self._instances),
+        )
 
     def finalize(self) -> BaseOutliersSolution:
         """Pick the instance with the smallest guess whose uncovered buffer fits in ``z``.

@@ -25,6 +25,8 @@ import sys
 from typing import Callable, Sequence
 
 from .core import (
+    CoresetStreamKCenter,
+    CoresetStreamOutliers,
     MapReduceKCenter,
     MapReduceKCenterOutliers,
     SequentialKCenter,
@@ -32,6 +34,7 @@ from .core import (
 )
 from .datasets import inject_outliers, load_paper_dataset
 from .mapreduce import available_backends
+from .streaming import ArrayStream, StreamingRunner
 from .evaluation import (
     ablation_coreset_stopping,
     ablation_partitioning,
@@ -54,6 +57,13 @@ def _add_common_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
 
 
+def _add_batch_size_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-size", type=int, default=1024,
+        help="streaming chunk size for the batched engine (0 = per-point path)",
+    )
+
+
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend", choices=available_backends(), default=None,
@@ -65,11 +75,43 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _batch_size_or_none(value: int) -> int | None:
+    """CLI convention: ``--batch-size 0`` selects the per-point path."""
+    return None if value == 0 else value
+
+
 def _solve(args: argparse.Namespace) -> int:
     points = load_paper_dataset(args.dataset, args.n_points, random_state=args.seed)
-    if args.command in ("mr-outliers", "sequential-outliers"):
+    if args.command in ("mr-outliers", "sequential-outliers", "stream-outliers"):
         injected = inject_outliers(points, args.z, random_state=args.seed + 1)
         points = injected.points
+
+    if args.command in ("stream-kcenter", "stream-outliers"):
+        if args.command == "stream-kcenter":
+            algorithm = CoresetStreamKCenter(
+                args.k, coreset_multiplier=args.mu, random_state=args.seed
+            )
+            label = "CoresetStreamKCenter"
+        else:
+            algorithm = CoresetStreamOutliers(args.k, args.z, coreset_multiplier=args.mu)
+            label = "CoresetStreamOutliers"
+        runner = StreamingRunner(batch_size=_batch_size_or_none(args.batch_size))
+        report = runner.run(
+            algorithm, ArrayStream(points, shuffle=True, random_state=args.seed)
+        )
+        rows = [{
+            "algorithm": label,
+            "batch_size": args.batch_size or "per-point",
+            "coreset_size": report.result.coreset_size,
+            "peak_memory": report.peak_memory,
+            "throughput_pts_per_s": report.throughput,
+        }]
+        if args.command == "stream-outliers":
+            rows[0]["estimated_radius"] = report.result.estimated_radius
+        else:
+            rows[0]["coreset_radius_bound"] = report.result.coreset_radius_bound
+        print(format_records(rows))
+        return 0
 
     if args.command == "mr-kcenter":
         solver = MapReduceKCenter(
@@ -128,11 +170,18 @@ def _run_figure(args: argparse.Namespace) -> int:
     if figure == "figure2":
         records = figure2_mr_kcenter(datasets, random_state=args.seed)
     elif figure == "figure3":
-        records = figure3_stream_kcenter(datasets, random_state=args.seed)
+        records = figure3_stream_kcenter(
+            datasets, batch_size=_batch_size_or_none(args.batch_size),
+            random_state=args.seed,
+        )
     elif figure == "figure4":
         records = figure4_mr_outliers(datasets, k=args.k, z=args.z, random_state=args.seed)
     elif figure == "figure5":
-        records = figure5_stream_outliers(datasets, k=args.k, z=args.z, random_state=args.seed)
+        records = figure5_stream_outliers(
+            datasets, k=args.k, z=args.z,
+            batch_size=_batch_size_or_none(args.batch_size),
+            random_state=args.seed,
+        )
     elif figure == "figure6":
         records = figure6_scaling_size(datasets, k=args.k, z=args.z, random_state=args.seed)
     elif figure == "figure7":
@@ -166,7 +215,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     solve = subparsers.add_parser("solve", help="run one solver on a dataset stand-in")
     solve_sub = solve.add_subparsers(dest="command", required=True)
-    for name in ("mr-kcenter", "mr-outliers", "sequential-kcenter", "sequential-outliers"):
+    for name in (
+        "mr-kcenter", "mr-outliers", "sequential-kcenter", "sequential-outliers",
+        "stream-kcenter", "stream-outliers",
+    ):
         sub = solve_sub.add_parser(name)
         sub.add_argument("--dataset", choices=("higgs", "power", "wiki"), default="higgs")
         sub.add_argument("--k", type=int, default=20)
@@ -177,6 +229,8 @@ def build_parser() -> argparse.ArgumentParser:
         _add_common_dataset_arguments(sub)
         if name.startswith("mr-"):
             _add_backend_arguments(sub)
+        if name.startswith("stream-"):
+            _add_batch_size_argument(sub)
         sub.set_defaults(handler=_solve)
 
     figure_names = (
@@ -193,6 +247,8 @@ def build_parser() -> argparse.ArgumentParser:
             # The only figure driver with a backend knob so far; the other
             # figures reject the flags rather than silently ignoring them.
             _add_backend_arguments(sub)
+        if name in ("figure3", "figure5"):
+            _add_batch_size_argument(sub)
         sub.set_defaults(handler=_run_figure, figure=name)
 
     return parser

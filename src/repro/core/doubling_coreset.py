@@ -18,6 +18,17 @@ center if within ``8 * phi``, else open a new center) and, when the
 center budget overflows, the *merge rule* (double ``phi`` and merge
 centers closer than ``4 * phi``) until invariant (a) is restored.
 
+:meth:`StreamingCoreset.process_batch` applies the same rules to a whole
+chunk of points with one blocked nearest-neighbour computation per
+sweep: the maximal prefix of the chunk that lands within ``8 * phi`` of
+an existing center is folded into the weights in bulk
+(:func:`numpy.bincount`), the first residual point opens a new center,
+and the sweep continues incrementally (only distances to the new center
+are computed) until the budget overflows, when the merge rule runs and
+the remaining tail is reswept. The batched path is exactly equivalent
+to feeding the chunk point by point — it is the per-point update rule
+with the interpreter loop hoisted into NumPy.
+
 :class:`StreamingCoreset` is used by the streaming k-center algorithm
 (with ``tau = mu * k``), the streaming outlier algorithm (with
 ``tau = mu * (k + z)`` or the theoretical ``(k+z)(16/eps)^D``), and the
@@ -64,6 +75,7 @@ class StreamingCoreset:
         self._phi = 0.0
         self._dimension: int | None = None
         self._n_processed = 0
+        self._peak_memory = 0
 
     # -- read-only state ----------------------------------------------------------------
 
@@ -98,20 +110,48 @@ class StreamingCoreset:
         return len(self._buffer) + self._size
 
     @property
+    def peak_working_memory_size(self) -> int:
+        """Largest working-memory size ever reached (at most ``tau + 1``).
+
+        Tracked internally at every point of growth, so it is exact no
+        matter how coarsely the harness samples — and identical between
+        the per-point and batched processing paths.
+        """
+        return max(self._peak_memory, self.working_memory_size)
+
+    def _note_memory(self) -> None:
+        self._peak_memory = max(self._peak_memory, len(self._buffer) + self._size)
+
+    @property
     def centers(self) -> np.ndarray:
-        """Coordinates of the current centers (also valid during buffering)."""
+        """Coordinates of the current centers (also valid during buffering).
+
+        Returned as a read-only view into the coreset's storage (no copy);
+        the contents reflect the state at access time and are invalidated
+        by further :meth:`process` / :meth:`process_batch` calls. Use
+        :meth:`coreset` for a stable snapshot.
+        """
         if self._centers is None:
             if not self._buffer:
                 return np.empty((0, 0))
-            return np.vstack(self._buffer)
-        return np.array(self._centers[: self._size])
+            view = np.vstack(self._buffer)
+        else:
+            view = self._centers[: self._size]
+        view.flags.writeable = False
+        return view
 
     @property
     def weights(self) -> np.ndarray:
-        """Weights (proxy counts) of the current centers."""
+        """Weights (proxy counts) of the current centers.
+
+        Read-only view semantics, exactly as :attr:`centers`.
+        """
         if self._centers is None:
-            return np.ones(len(self._buffer))
-        return np.array(self._weights[: self._size])
+            view = np.ones(len(self._buffer))
+        else:
+            view = self._weights[: self._size]
+        view.flags.writeable = False
+        return view
 
     # -- internal helpers -----------------------------------------------------------------
 
@@ -133,6 +173,7 @@ class StreamingCoreset:
         self._centers[self._size] = point
         self._weights[self._size] = weight
         self._size += 1
+        self._note_memory()
 
     def _active_pairwise(self) -> np.ndarray:
         return self._metric.pairwise(self._centers[: self._size])
@@ -229,6 +270,7 @@ class StreamingCoreset:
             if self._dimension is None:
                 self._dimension = int(point.shape[0])
             self._buffer.append(np.array(point))
+            self._note_memory()
             if len(self._buffer) == self._tau + 1:
                 self._initialize_from_buffer()
             return
@@ -243,6 +285,95 @@ class StreamingCoreset:
         self._append_center(point, 1.0)
         while self._size > self._tau:
             self._apply_merge_rule()
+
+    def process_batch(self, points) -> None:
+        """Feed a chunk of stream points into the coreset.
+
+        Exactly equivalent to calling :meth:`process` on every row of
+        ``points`` in order, but the update rule runs vectorised: one
+        blocked nearest-center computation per sweep, bulk weight
+        accumulation for all in-radius points, and an incremental greedy
+        sweep over the residual points that open new centers. The merge
+        rule is only entered when the center budget actually overflows.
+        """
+        batch = np.asarray(points, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch.reshape(1, -1)
+        if batch.ndim != 2:
+            raise InvalidParameterError("a batch must be a (n, d) array of points")
+        if batch.shape[0] == 0:
+            return
+        if batch.shape[1] == 0 or not np.all(np.isfinite(batch)):
+            raise InvalidParameterError("stream points must be finite, non-empty vectors")
+        if self._dimension is not None and batch.shape[1] != self._dimension:
+            raise InvalidParameterError(
+                f"stream point has dimension {batch.shape[1]}, expected {self._dimension}"
+            )
+        if self._dimension is None:
+            self._dimension = int(batch.shape[1])
+
+        position = 0
+        n = batch.shape[0]
+        while position < n:
+            if self._centers is None:
+                # Initialisation phase: fill the buffer from the chunk.
+                need = self._tau + 1 - len(self._buffer)
+                taken = batch[position : position + need]
+                self._buffer.extend(np.array(row) for row in taken)
+                position += taken.shape[0]
+                self._note_memory()
+                if len(self._buffer) == self._tau + 1:
+                    self._initialize_from_buffer()
+                continue
+            position = self._sweep_batch(batch, position)
+        self._n_processed += n
+
+    def _sweep_batch(self, batch: np.ndarray, start: int) -> int:
+        """One vectorised sweep of the update rule over ``batch[start:]``.
+
+        Processes points until the chunk is exhausted or a merge rule
+        invalidates the cached nearest-center distances; returns the index
+        of the first unprocessed point.
+        """
+        tail = batch[start:]
+        dmin, amin = self._metric.nearest(tail, self._centers[: self._size])
+        pos = 0
+        m = tail.shape[0]
+        while pos < m:
+            residual = np.flatnonzero(dmin[pos:] > 8.0 * self._phi)
+            if residual.size == 0:
+                # Update rule in bulk: every remaining point is within
+                # 8 * phi of its closest center.
+                self._accumulate_weights(amin[pos:])
+                return start + m
+            first = pos + int(residual[0])
+            if first > pos:
+                self._accumulate_weights(amin[pos:first])
+            self._append_center(tail[first], 1.0)
+            new_index = self._size - 1
+            pos = first + 1
+            if self._size > self._tau:
+                while self._size > self._tau:
+                    self._apply_merge_rule()
+                # phi and the center set changed: the cached distances are
+                # stale, so hand the rest of the chunk to a fresh sweep.
+                return start + pos
+            if pos < m:
+                # The new center may now be the closest for later points;
+                # a strict comparison keeps the sequential tie-break (the
+                # lowest center index wins on exact ties).
+                to_new = self._metric.cdist(tail[pos:], tail[first].reshape(1, -1))[:, 0]
+                closer = to_new < dmin[pos:]
+                dmin[pos:][closer] = to_new[closer]
+                amin[pos:][closer] = new_index
+        return start + m
+
+    def _accumulate_weights(self, indices: np.ndarray) -> None:
+        """Bulk form of the update rule's ``weights[closest] += 1``."""
+        if indices.size:
+            self._weights[: self._size] += np.bincount(
+                indices, minlength=self._size
+            )
 
     def coreset(self) -> WeightedPoints:
         """The current weighted coreset as :class:`WeightedPoints`.

@@ -142,19 +142,25 @@ class OutliersClusterSolver:
 
         n = len(self._coreset)
         uncovered = np.ones(n, dtype=bool)
-        # Stored as float so the per-iteration matrix-vector product below
-        # does not re-convert a boolean matrix every time.
-        selection_balls = (self._pairwise <= selection_radius).astype(np.float64)
+        # One boolean threshold pass over the cached pairwise matrix per
+        # probe (no (n, n) float64 materialisation), then the per-ball
+        # uncovered weights are maintained *incrementally*: selecting a
+        # center only subtracts the newly covered points' contributions
+        # (narrow column slices) instead of redoing a dense matrix-vector
+        # product per iteration. For the integer proxy weights of the
+        # coreset constructions the running values are exact.
+        selection_balls = self._pairwise <= selection_radius
+        ball_weights = selection_balls @ self._weights
         centers: list[int] = []
 
         while len(centers) < self._k and uncovered.any():
-            uncovered_weight = np.where(uncovered, self._weights, 0.0)
-            # Aggregate uncovered weight inside each candidate's selection ball.
-            ball_weights = selection_balls @ uncovered_weight
             center = int(np.argmax(ball_weights))
             centers.append(center)
-            covered_now = self._pairwise[center] <= coverage_radius
-            uncovered &= ~covered_now
+            newly_covered = np.flatnonzero(
+                uncovered & (self._pairwise[center] <= coverage_radius)
+            )
+            uncovered[newly_covered] = False
+            ball_weights -= selection_balls[:, newly_covered] @ self._weights[newly_covered]
 
         return OutliersClusterResult(
             center_indices=np.array(centers, dtype=np.intp),

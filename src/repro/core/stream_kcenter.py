@@ -136,10 +136,19 @@ class CoresetStreamKCenter(StreamingAlgorithm):
         """Feed one point of the stream into the maintained coreset."""
         self._coreset.process(point)
 
+    def process_batch(self, batch: np.ndarray) -> None:
+        """Feed a chunk of stream points through the vectorized update rule."""
+        self._coreset.process_batch(batch)
+
     @property
     def working_memory_size(self) -> int:
         """Stored points (buffered + coreset centers)."""
         return self._coreset.working_memory_size
+
+    @property
+    def peak_working_memory_size(self) -> int:
+        """Exact peak tracked by the coreset, drive-path independent."""
+        return self._coreset.peak_working_memory_size
 
     def finalize(self) -> StreamKCenterSolution:
         """Run GMM on the coreset and return the final ``k`` centers."""

@@ -147,10 +147,19 @@ class CoresetStreamOutliers(StreamingAlgorithm):
         """Feed one stream point into the maintained weighted coreset."""
         self._coreset.process(point)
 
+    def process_batch(self, batch: np.ndarray) -> None:
+        """Feed a chunk of stream points through the vectorized update rule."""
+        self._coreset.process_batch(batch)
+
     @property
     def working_memory_size(self) -> int:
         """Stored points (buffered + coreset centers)."""
         return self._coreset.working_memory_size
+
+    @property
+    def peak_working_memory_size(self) -> int:
+        """Exact peak tracked by the coreset, drive-path independent."""
+        return self._coreset.peak_working_memory_size
 
     def finalize(self) -> StreamOutliersSolution:
         """Extract the final centers from the weighted coreset."""
@@ -247,10 +256,75 @@ class TwoPassStreamOutliers(StreamingAlgorithm):
         self._points.append(np.array(point))
         self._weights.append(1.0)
 
+    def process_batch(self, batch: np.ndarray) -> None:
+        """Chunked version of :meth:`process`; equivalent to a row-by-row loop."""
+        batch = np.atleast_2d(np.asarray(batch, dtype=np.float64))
+        if self._current_pass == 0:
+            self._first_pass.process_batch(batch)
+            return
+        n = batch.shape[0]
+        self._n_processed_second += n
+        position = 0
+        while position < n and not self._points:
+            self._points.append(np.array(batch[position]))
+            self._weights.append(1.0)
+            position += 1
+        if position >= n:
+            return
+
+        tail = batch[position:]
+        dmin, amin = self.metric.nearest(tail, np.vstack(self._points))
+        pos = 0
+        m = tail.shape[0]
+        while pos < m:
+            if (
+                self.max_coreset_size is not None
+                and len(self._points) >= self.max_coreset_size
+            ):
+                # At capacity every remaining point is absorbed by its
+                # closest retained point; the retained set no longer grows,
+                # so the cached assignments stay valid.
+                self._absorb(amin[pos:])
+                return
+            separated = np.flatnonzero(dmin[pos:] > self._separation)
+            if separated.size == 0:
+                self._absorb(amin[pos:])
+                return
+            first = pos + int(separated[0])
+            if first > pos:
+                self._absorb(amin[pos:first])
+            new_index = len(self._points)
+            self._points.append(np.array(tail[first]))
+            self._weights.append(1.0)
+            pos = first + 1
+            if pos < m:
+                to_new = self.metric.cdist(tail[pos:], tail[first].reshape(1, -1))[:, 0]
+                closer = to_new < dmin[pos:]
+                dmin[pos:][closer] = to_new[closer]
+                amin[pos:][closer] = new_index
+
+    def _absorb(self, indices: np.ndarray) -> None:
+        """Bulk ``weights[closest] += 1`` over a run of absorbed points."""
+        counts = np.bincount(indices, minlength=len(self._weights))
+        for index in np.flatnonzero(counts):
+            self._weights[index] += float(counts[index])
+
     @property
     def working_memory_size(self) -> int:
         """Stored points across both passes' data structures."""
         return self._first_pass.working_memory_size + len(self._points)
+
+    @property
+    def peak_working_memory_size(self) -> int:
+        """Exact peak across both passes, drive-path independent.
+
+        The second-pass store only ever grows, so the peak is the larger
+        of the first pass's tracked peak and the current working set.
+        """
+        return max(
+            self._first_pass.peak_working_memory_size,
+            self.working_memory_size,
+        )
 
     def finalize(self) -> StreamOutliersSolution:
         """Extract the final centers from the second-pass weighted coreset."""

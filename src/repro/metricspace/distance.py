@@ -7,6 +7,14 @@ which are provided here in vectorised NumPy form:
 * the full pairwise distance matrix of a small set (:func:`pairwise`),
 * cross distances between two sets (:func:`cdist`).
 
+For the batched streaming engine two blocked variants are provided on
+:class:`Metric`: :meth:`Metric.cdist_blocked` computes the full cross
+matrix in row blocks so the broadcast temporaries of the L1/L-inf
+metrics stay bounded, and :meth:`Metric.nearest` reduces each block to
+per-row ``(min distance, argmin index)`` without ever materialising the
+full ``batch x centers`` product — the primitive the batched doubling
+coreset is built on.
+
 A :class:`Metric` bundles these primitives for a named metric so that the
 algorithms can stay metric-agnostic. Euclidean, squared-free Manhattan
 and Chebyshev metrics are provided; all three are true metrics (they
@@ -23,6 +31,7 @@ import numpy as np
 from ..exceptions import InvalidParameterError
 
 __all__ = [
+    "DEFAULT_BLOCK_ELEMENTS",
     "Metric",
     "get_metric",
     "available_metrics",
@@ -97,6 +106,19 @@ def angular(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 _CrossFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
+#: Cap (in float64 elements) on the broadcast temporaries of one blocked
+#: cross-distance block: ``block_rows * n_cols * dim`` never exceeds this,
+#: bounding peak memory at ~32 MB per temporary regardless of batch size.
+DEFAULT_BLOCK_ELEMENTS = 4_194_304
+
+
+def _rows_per_block(n_cols: int, dim: int, max_block_elements: int) -> int:
+    """Rows of ``a`` per block so one block's temporaries stay under the cap."""
+    if max_block_elements < 1:
+        raise InvalidParameterError("max_block_elements must be positive")
+    per_row = max(1, n_cols) * max(1, dim)
+    return max(1, max_block_elements // per_row)
+
 
 @dataclass(frozen=True)
 class Metric:
@@ -108,10 +130,15 @@ class Metric:
         Human-readable metric name (``"euclidean"``, ``"manhattan"``, ...).
     cross:
         Function computing the cross-distance matrix between two row sets.
+    exactly_symmetric:
+        Whether ``cross(points, points)`` is bitwise symmetric (true for the
+        element-wise L1/L-inf metrics), letting :meth:`pairwise` skip the
+        symmetrisation pass entirely.
     """
 
     name: str
     cross: _CrossFn = field(repr=False)
+    exactly_symmetric: bool = False
 
     def point_to_points(self, point: np.ndarray, points: np.ndarray) -> np.ndarray:
         """Distances from a single ``point`` to every row of ``points``."""
@@ -121,14 +148,82 @@ class Metric:
     def pairwise(self, points: np.ndarray) -> np.ndarray:
         """Full symmetric pairwise distance matrix of ``points``."""
         matrix = self.cross(points, points)
-        # Enforce exact symmetry and a zero diagonal (guards against FP noise).
-        matrix = 0.5 * (matrix + matrix.T)
+        if not self.exactly_symmetric:
+            # Symmetrize in place (guards against FP noise in BLAS-backed
+            # metrics). NumPy's overlap detection buffers the transposed
+            # view, so this peaks at one temporary matrix instead of the
+            # two that `0.5 * (matrix + matrix.T)` would allocate.
+            matrix += matrix.T
+            matrix *= 0.5
         np.fill_diagonal(matrix, 0.0)
         return matrix
 
     def cdist(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Cross-distance matrix between row sets ``a`` and ``b``."""
         return self.cross(a, b)
+
+    def cdist_blocked(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        max_block_elements: int = DEFAULT_BLOCK_ELEMENTS,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Cross-distance matrix computed in row blocks of ``a``.
+
+        Produces the same ``(len(a), len(b))`` matrix as :meth:`cdist` but
+        never lets one block's intermediate arrays exceed
+        ``max_block_elements`` float64 values, which caps the ``(n, m, d)``
+        broadcast temporaries of the L1/L-inf metrics for large-batch x
+        large-coreset products. ``out`` may supply a preallocated result.
+        """
+        a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+        b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+        n, m = a.shape[0], b.shape[0]
+        if out is None:
+            out = np.empty((n, m), dtype=np.float64)
+        elif out.shape != (n, m):
+            raise InvalidParameterError(
+                f"out has shape {out.shape}, expected {(n, m)}"
+            )
+        block = _rows_per_block(m, a.shape[1], max_block_elements)
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            out[start:stop] = self.cross(a[start:stop], b)
+        return out
+
+    def nearest(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        max_block_elements: int = DEFAULT_BLOCK_ELEMENTS,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row nearest neighbour of ``a`` among the rows of ``b``.
+
+        Returns ``(distances, indices)`` where ``distances[i]`` is the
+        smallest distance from ``a[i]`` to any row of ``b`` and
+        ``indices[i]`` the (lowest) index attaining it. Computed block by
+        block, so the full ``(len(a), len(b))`` matrix is never held in
+        memory — this is the hot primitive of the batched streaming update
+        rule.
+        """
+        a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+        b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+        n, m = a.shape[0], b.shape[0]
+        if m == 0:
+            raise InvalidParameterError("nearest() needs at least one candidate row")
+        distances = np.empty(n, dtype=np.float64)
+        indices = np.empty(n, dtype=np.intp)
+        block = _rows_per_block(m, a.shape[1], max_block_elements)
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            cross = self.cross(a[start:stop], b)
+            argmin = cross.argmin(axis=1)
+            indices[start:stop] = argmin
+            distances[start:stop] = cross[np.arange(cross.shape[0]), argmin]
+        return distances, indices
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
         """Distance between two individual points."""
@@ -137,10 +232,14 @@ class Metric:
         return float(self.cross(a, b)[0, 0])
 
 
+# The element-wise L1/L-inf metrics are bitwise symmetric by construction
+# (|x - y| == |y - x| exactly in IEEE arithmetic and the coordinate
+# reduction order is identical for both triangles); the BLAS-backed
+# euclidean/angular metrics are not, so they keep the symmetrisation pass.
 _METRICS: Dict[str, Metric] = {
     "euclidean": Metric("euclidean", euclidean),
-    "manhattan": Metric("manhattan", manhattan),
-    "chebyshev": Metric("chebyshev", chebyshev),
+    "manhattan": Metric("manhattan", manhattan, exactly_symmetric=True),
+    "chebyshev": Metric("chebyshev", chebyshev, exactly_symmetric=True),
     "angular": Metric("angular", angular),
 }
 
@@ -215,7 +314,11 @@ class DistanceCounter:
             self._count += int(result.size)
             return result
 
-        self.metric = Metric(name=f"counted-{base.name}", cross=counted_cross)
+        self.metric = Metric(
+            name=f"counted-{base.name}",
+            cross=counted_cross,
+            exactly_symmetric=base.exactly_symmetric,
+        )
 
     @property
     def count(self) -> int:

@@ -11,6 +11,15 @@ source supports. Two sources are provided:
 * :class:`GeneratorStream` — wraps a single-use iterable of points or
   batches (e.g. :func:`repro.datasets.inflate_streaming`); strictly
   one pass.
+
+Besides the classic point-at-a-time :meth:`PointStream.iterate_pass`,
+every stream can deliver the same pass in configurable-size chunks via
+:meth:`PointStream.iterate_batches` — the delivery side of the batched
+streaming engine. :class:`ArrayStream` serves zero-copy slices of its
+matrix; :class:`GeneratorStream` passes batches native to its source
+through without re-splitting (loose single points are grouped up to the
+requested size). Both iteration styles visit the same points in the
+same order, so a batched run is equivalent to a per-point run.
 """
 
 from __future__ import annotations
@@ -54,20 +63,49 @@ class PointStream:
 
     def iterate_pass(self) -> Iterator[np.ndarray]:
         """Begin a new pass and yield its points one at a time."""
+        self._begin_pass()
+        for point in self._iterate_once():
+            self._points_delivered += 1
+            yield point
+
+    def iterate_batches(self, batch_size: int) -> Iterator[np.ndarray]:
+        """Begin a new pass and yield its points as ``(m, d)`` chunks.
+
+        ``m`` is at most ``batch_size`` (sources with native batching, such
+        as :class:`GeneratorStream`, may deliver larger chunks as-is rather
+        than re-split them). Consumes one unit of the pass budget, exactly
+        like :meth:`iterate_pass`.
+        """
+        if batch_size < 1:
+            raise StreamingProtocolError("batch_size must be >= 1")
+        self._begin_pass()
+        for chunk in self._iterate_batches_once(int(batch_size)):
+            self._points_delivered += chunk.shape[0]
+            yield chunk
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return self.iterate_pass()
+
+    def _begin_pass(self) -> None:
         if self._passes_started >= self._max_passes:
             raise StreamingProtocolError(
                 f"this stream supports at most {self._max_passes} pass(es)"
             )
         self._passes_started += 1
-        for point in self._iterate_once():
-            self._points_delivered += 1
-            yield point
-
-    def __iter__(self) -> Iterator[np.ndarray]:
-        return self.iterate_pass()
 
     def _iterate_once(self) -> Iterator[np.ndarray]:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def _iterate_batches_once(self, batch_size: int) -> Iterator[np.ndarray]:
+        """Group the per-point iterator into chunks (sources may override)."""
+        pending: list[np.ndarray] = []
+        for point in self._iterate_once():
+            pending.append(point)
+            if len(pending) == batch_size:
+                yield np.vstack(pending)
+                pending = []
+        if pending:
+            yield np.vstack(pending)
 
 
 class ArrayStream(PointStream):
@@ -113,29 +151,63 @@ class ArrayStream(PointStream):
         for row in self._points:
             yield row
 
+    def _iterate_batches_once(self, batch_size: int) -> Iterator[np.ndarray]:
+        # Zero-copy slices of the backing matrix.
+        for start in range(0, self._points.shape[0], batch_size):
+            yield self._points[start : start + batch_size]
+
 
 class GeneratorStream(PointStream):
     """Single-pass stream over an iterable of points or point batches.
 
     Each item of ``source`` may be a single point (1-d array-like) or a
-    batch (2-d array-like); batches are unrolled point by point, so
-    generators such as :func:`repro.datasets.inflate_streaming` can feed
-    the streaming algorithms without materialising the data.
+    batch (2-d array-like). Under :meth:`~PointStream.iterate_pass`
+    batches are unrolled point by point; under
+    :meth:`~PointStream.iterate_batches` native batches are passed
+    through without re-splitting (whatever their size), while loose
+    single points are grouped into chunks of the requested size. Either
+    way, generators such as :func:`repro.datasets.inflate_streaming` can
+    feed the streaming algorithms without materialising the data.
     """
 
     def __init__(self, source: Iterable) -> None:
         super().__init__(max_passes=1)
         self._source = source
 
+    @staticmethod
+    def _as_array(item) -> np.ndarray:
+        array = np.asarray(item, dtype=np.float64)
+        if array.ndim not in (1, 2):
+            raise StreamingProtocolError(
+                "stream items must be points (1-d) or batches of points (2-d)"
+            )
+        return array
+
     def _iterate_once(self) -> Iterator[np.ndarray]:
         for item in self._source:
-            array = np.asarray(item, dtype=np.float64)
+            array = self._as_array(item)
             if array.ndim == 1:
                 yield array
-            elif array.ndim == 2:
+            else:
                 for row in array:
                     yield row
-            else:
-                raise StreamingProtocolError(
-                    "stream items must be points (1-d) or batches of points (2-d)"
-                )
+
+    def _iterate_batches_once(self, batch_size: int) -> Iterator[np.ndarray]:
+        pending: list[np.ndarray] = []
+        for item in self._source:
+            array = self._as_array(item)
+            if array.ndim == 2:
+                # Flush grouped singles first so the point order matches the
+                # per-point iteration, then hand the native batch through.
+                if pending:
+                    yield np.vstack(pending)
+                    pending = []
+                if array.shape[0]:
+                    yield array
+                continue
+            pending.append(array)
+            if len(pending) == batch_size:
+                yield np.vstack(pending)
+                pending = []
+        if pending:
+            yield np.vstack(pending)

@@ -113,6 +113,48 @@ class TestOutliersClusterSolver:
         assert solver.uncovered_weight(1e9) == pytest.approx(0.0)
 
 
+class TestIncrementalBallWeights:
+    """The incremental ball-weight maintenance must match Algorithm 1 literally."""
+
+    @staticmethod
+    def _naive_run(solver: OutliersClusterSolver, radius: float):
+        selection_radius = (1.0 + 2.0 * solver.eps_hat) * radius
+        coverage_radius = (3.0 + 4.0 * solver.eps_hat) * radius
+        pairwise = solver.pairwise_distances
+        weights = solver.coreset.weights
+        uncovered = np.ones(len(solver.coreset), dtype=bool)
+        centers = []
+        while len(centers) < solver.k and uncovered.any():
+            uncovered_weight = np.where(uncovered, weights, 0.0)
+            ball_weights = (pairwise <= selection_radius) @ uncovered_weight
+            center = int(np.argmax(ball_weights))
+            centers.append(center)
+            uncovered &= ~(pairwise[center] <= coverage_radius)
+        return centers, uncovered
+
+    @pytest.mark.parametrize("quantile", (0.02, 0.1, 0.3, 0.6))
+    def test_matches_naive_reference(self, small_blobs, quantile):
+        weights = np.asarray(
+            np.random.default_rng(4).integers(1, 9, size=small_blobs.shape[0]),
+            dtype=np.float64,
+        )
+        coreset = WeightedPoints(points=small_blobs, weights=weights)
+        solver = OutliersClusterSolver(coreset, k=4, eps_hat=1 / 6)
+        radius = float(np.quantile(solver.candidate_radii(), quantile))
+        result = solver.run(radius)
+        expected_centers, expected_uncovered = self._naive_run(solver, radius)
+        assert list(result.center_indices) == expected_centers
+        assert np.array_equal(result.uncovered_mask, expected_uncovered)
+
+    def test_repeated_probes_are_independent(self, small_blobs):
+        solver = OutliersClusterSolver(_unit_coreset(small_blobs), k=3, eps_hat=1 / 6)
+        radius = float(np.median(solver.candidate_radii()))
+        first = solver.run(radius)
+        second = solver.run(radius)
+        assert np.array_equal(first.center_indices, second.center_indices)
+        assert first.uncovered_weight == second.uncovered_weight
+
+
 class TestOutliersClusterFunction:
     def test_one_shot_wrapper(self, small_blobs):
         result = outliers_cluster(_unit_coreset(small_blobs), k=3, radius=5.0)

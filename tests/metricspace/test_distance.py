@@ -116,6 +116,69 @@ class TestMetricHelpers:
         assert metric.distance(a, c) <= metric.distance(a, b) + metric.distance(b, c) + 1e-9
 
 
+class TestBlockedPrimitives:
+    metric_names = ("euclidean", "manhattan", "chebyshev", "angular")
+
+    def _sets(self):
+        rng = np.random.default_rng(31)
+        return rng.normal(size=(41, 4)), rng.normal(size=(13, 4))
+
+    @pytest.mark.parametrize("name", metric_names)
+    @pytest.mark.parametrize("max_block_elements", (16, 200, 10**7))
+    def test_cdist_blocked_matches_cdist(self, name, max_block_elements):
+        a, b = self._sets()
+        metric = get_metric(name)
+        full = metric.cdist(a, b)
+        blocked = metric.cdist_blocked(a, b, max_block_elements=max_block_elements)
+        np.testing.assert_allclose(blocked, full, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("name", metric_names)
+    @pytest.mark.parametrize("max_block_elements", (16, 200, 10**7))
+    def test_nearest_matches_full_matrix(self, name, max_block_elements):
+        a, b = self._sets()
+        metric = get_metric(name)
+        full = metric.cdist(a, b)
+        distances, indices = metric.nearest(a, b, max_block_elements=max_block_elements)
+        np.testing.assert_allclose(distances, full.min(axis=1), rtol=1e-12, atol=1e-12)
+        assert np.array_equal(indices, full.argmin(axis=1))
+
+    def test_cdist_blocked_out_parameter(self):
+        a, b = self._sets()
+        metric = get_metric("euclidean")
+        out = np.empty((a.shape[0], b.shape[0]))
+        result = metric.cdist_blocked(a, b, out=out)
+        assert result is out
+
+    def test_cdist_blocked_bad_out_shape_raises(self):
+        a, b = self._sets()
+        with pytest.raises(InvalidParameterError):
+            get_metric("euclidean").cdist_blocked(a, b, out=np.empty((1, 1)))
+
+    def test_nearest_empty_candidates_raises(self):
+        with pytest.raises(InvalidParameterError):
+            get_metric("euclidean").nearest(np.zeros((3, 2)), np.empty((0, 2)))
+
+    def test_nearest_tie_break_is_lowest_index(self):
+        points = np.array([[0.0, 0.0], [0.0, 0.0], [5.0, 0.0]])
+        _, indices = get_metric("euclidean").nearest(np.array([[0.0, 0.0]]), points)
+        assert indices[0] == 0
+
+    @pytest.mark.parametrize("name", ("manhattan", "chebyshev"))
+    def test_elementwise_metrics_skip_symmetrisation(self, name):
+        metric = get_metric(name)
+        assert metric.exactly_symmetric
+        points = np.random.default_rng(8).normal(size=(20, 3))
+        raw = metric.cross(points, points)
+        assert np.array_equal(raw, raw.T)
+
+    @pytest.mark.parametrize("name", metric_names)
+    def test_pairwise_still_symmetric_with_zero_diagonal(self, name):
+        points = np.random.default_rng(9).normal(size=(25, 3))
+        matrix = get_metric(name).pairwise(points)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0.0)
+
+
 class TestDistanceCounter:
     def test_counts_evaluations(self):
         counter = DistanceCounter("euclidean")

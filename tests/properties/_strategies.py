@@ -1,0 +1,25 @@
+"""Shared hypothesis strategies for the property-based suites.
+
+Imported by the test modules in this directory via pytest's rootdir
+``sys.path`` insertion (the test tree is not a package), so the module
+name is prefixed to stay out of the way of any real package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+coordinates = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def streams(min_points=5, max_points=80, max_dim=3):
+    """Random finite point streams as ``(n, d)`` float64 arrays."""
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(min_points, max_points), st.integers(1, max_dim)),
+        elements=coordinates,
+    )

@@ -1,0 +1,150 @@
+"""Batched-vs-per-point equivalence of the streaming engine.
+
+The batch protocol's contract is *order equivalence*: for any stream and
+any ``batch_size`` (including 1 and larger than the stream), processing
+the stream in chunks must leave every streaming solver in exactly the
+state that per-point processing produces — identical coreset state
+(centers, weights, phi, n_processed) and identical final solutions.
+
+Two layers of evidence:
+
+* a hypothesis property over :class:`~repro.core.StreamingCoreset` with
+  arbitrary streams and arbitrary chunkings of the same stream;
+* a deterministic parametrized suite driving all four streaming solvers
+  (CORESETSTREAM, CORESETOUTLIERS, BASESTREAM of McCutchen–Khuller, and
+  the doubling baseline) plus the 2-pass variant and BASEOUTLIERS
+  through :class:`~repro.streaming.StreamingRunner` at batch sizes
+  {1, 7, 64, 1024} against the per-point path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BaseStreamKCenter, BaseStreamOutliers, DoublingStreamKCenter
+from repro.core import (
+    CoresetStreamKCenter,
+    CoresetStreamOutliers,
+    StreamingCoreset,
+    TwoPassStreamOutliers,
+)
+from repro.streaming import ArrayStream, StreamingRunner
+
+from _strategies import streams
+
+BATCH_SIZES = (1, 7, 64, 1024)
+
+
+def _assert_same_coreset(batched: StreamingCoreset, reference: StreamingCoreset) -> None:
+    assert batched.n_processed == reference.n_processed
+    assert batched.phi == reference.phi
+    assert batched.size == reference.size
+    assert np.array_equal(batched.centers, reference.centers)
+    assert np.array_equal(batched.weights, reference.weights)
+    assert batched.peak_working_memory_size == reference.peak_working_memory_size
+
+
+class TestStreamingCoresetBatchEquivalence:
+    @given(
+        points=streams(),
+        tau=st.integers(1, 12),
+        chunking=st.lists(st.integers(1, 30), min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_chunking_matches_per_point(self, points, tau, chunking):
+        reference = StreamingCoreset(tau=tau)
+        for point in points:
+            reference.process(point)
+
+        batched = StreamingCoreset(tau=tau)
+        position = 0
+        chunk_index = 0
+        while position < points.shape[0]:
+            size = chunking[chunk_index % len(chunking)]
+            batched.process_batch(points[position : position + size])
+            position += size
+            chunk_index += 1
+        _assert_same_coreset(batched, reference)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_batch_sizes_match_per_point(self, medium_blobs, batch_size):
+        tau = 25
+        reference = StreamingCoreset(tau=tau)
+        for point in medium_blobs:
+            reference.process(point)
+
+        batched = StreamingCoreset(tau=tau)
+        for start in range(0, medium_blobs.shape[0], batch_size):
+            batched.process_batch(medium_blobs[start : start + batch_size])
+        _assert_same_coreset(batched, reference)
+
+    def test_empty_batch_is_a_no_op(self):
+        coreset = StreamingCoreset(tau=3)
+        coreset.process_batch(np.empty((0, 2)))
+        assert coreset.n_processed == 0
+
+
+def _solver_factories():
+    return {
+        "coreset-stream": lambda: CoresetStreamKCenter(
+            6, coreset_multiplier=4, random_state=5
+        ),
+        "coreset-outliers": lambda: CoresetStreamOutliers(4, 10, coreset_multiplier=2),
+        "base-stream": lambda: BaseStreamKCenter(6, n_instances=4),
+        "doubling": lambda: DoublingStreamKCenter(7),
+        "base-outliers": lambda: BaseStreamOutliers(
+            4, 8, n_instances=2, buffer_capacity=40
+        ),
+        "two-pass": lambda: TwoPassStreamOutliers(
+            4, 10, epsilon=0.5, max_coreset_size=80
+        ),
+    }
+
+
+def _stress_stream(medium_blobs: np.ndarray) -> np.ndarray:
+    # Clusters + far-away points (forces merges) + exact duplicates (forces
+    # argmin tie-breaks) — the cases where batched bookkeeping could drift.
+    rng = np.random.default_rng(99)
+    far = rng.normal(size=(60, medium_blobs.shape[1])) * 400.0
+    stream = np.vstack([medium_blobs, far, medium_blobs[:23]])
+    return stream[rng.permutation(stream.shape[0])]
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+@pytest.mark.parametrize("name", sorted(_solver_factories()))
+def test_solver_batched_runner_matches_per_point(medium_blobs, name, batch_size):
+    make = _solver_factories()[name]
+    stream = _stress_stream(medium_blobs)
+
+    reference_algorithm = make()
+    reference = StreamingRunner().run(
+        reference_algorithm,
+        ArrayStream(stream, max_passes=reference_algorithm.n_passes),
+    )
+
+    algorithm = make()
+    report = StreamingRunner(batch_size=batch_size).run(
+        algorithm, ArrayStream(stream, max_passes=algorithm.n_passes)
+    )
+
+    assert report.n_points == reference.n_points
+    assert report.n_passes == reference.n_passes
+    assert report.peak_memory == reference.peak_memory
+    assert np.array_equal(report.result.centers, reference.result.centers)
+    assert report.result.n_processed == reference.result.n_processed
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_coreset_stream_internal_state_matches(medium_blobs, batch_size):
+    stream = _stress_stream(medium_blobs)
+
+    reference = CoresetStreamKCenter(6, coreset_multiplier=4, random_state=5)
+    StreamingRunner().run(reference, ArrayStream(stream))
+
+    batched = CoresetStreamKCenter(6, coreset_multiplier=4, random_state=5)
+    StreamingRunner(batch_size=batch_size).run(batched, ArrayStream(stream))
+
+    _assert_same_coreset(batched._coreset, reference._coreset)

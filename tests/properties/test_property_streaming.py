@@ -5,20 +5,11 @@ from __future__ import annotations
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from hypothesis.extra import numpy as hnp
 
 from repro.core import StreamingCoreset
 from repro.metricspace import pairwise
 
-coordinates = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
-
-
-def streams(min_points=5, max_points=80, max_dim=3):
-    return hnp.arrays(
-        dtype=np.float64,
-        shape=st.tuples(st.integers(min_points, max_points), st.integers(1, max_dim)),
-        elements=coordinates,
-    )
+from _strategies import streams
 
 
 class TestStreamingCoresetInvariants:
