@@ -7,7 +7,7 @@ in {1, 2, 4, 8, 16}; the plot separates the coreset-construction time
 ``|S|/ell`` points and builds a coreset a factor ell smaller) from the
 constant time of the final OUTLIERSCLUSTER solve.
 
-Two complementary measurements:
+Three complementary measurements:
 
 * ``test_figure7_scaling_processors`` — the per-reducer accounting view:
   the parallel time of the coreset phase is the slowest round-1 reducer,
@@ -18,11 +18,20 @@ Two complementary measurements:
   (default 100k points). Requires ``--backend threads`` or
   ``--backend processes``; the speedup assertion additionally needs at
   least 4 CPUs (it is reported either way).
+* ``test_figure7_streamed_shuffle_memory`` — the out-of-core shuffle on
+  the seeded fig7 configuration: per backend, ``fit`` vs ``fit_stream``
+  must agree bit for bit while the coordinator's accounted working set
+  drops from ``n`` to ``O(chunk + coreset)``. Emits points/sec, the
+  exact coordinator accounting and the process peak RSS to
+  ``BENCH_mapreduce.json`` (override with ``REPRO_BENCH_MAPREDUCE_JSON``)
+  so CI can archive the trajectory.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 
 import numpy as np
 import pytest
@@ -34,6 +43,7 @@ from repro.evaluation import (
     figure7_wallclock_scaling,
     format_records,
 )
+from repro.streaming import ArrayStream
 
 from .conftest import attach_records, bench_backend, bench_seed, scaling_points
 
@@ -86,6 +96,103 @@ def test_figure7_scaling_processors(benchmark, paper_datasets):
         # cost does not explode with ell.
         solve_times = np.array([r["solve_time_s"] for r in rows])
         assert solve_times.max() <= max(10 * solve_times.min(), solve_times.min() + 0.5)
+
+
+def _mapreduce_trajectory_path() -> str:
+    return os.environ.get("REPRO_BENCH_MAPREDUCE_JSON", "BENCH_mapreduce.json")
+
+
+def _peak_rss_kib() -> int:
+    """Process high-water RSS in KiB (monotonic; observational only)."""
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - non-POSIX fallback
+        return 0
+
+
+def test_figure7_streamed_shuffle_memory(paper_datasets):
+    """Out-of-core shuffle: bit-identical to in-memory, coordinator O(chunk + coreset)."""
+    k, z, ell, chunk_size = K, Z, 8, 256
+    points = inject_outliers(
+        paper_datasets["power"], Z, random_state=bench_seed()
+    ).points
+    n = points.shape[0]
+
+    records = []
+    for backend in ("serial", "threads", "processes"):
+        def solver():
+            # mu = 1 keeps the coreset union well below n at smoke scale so
+            # the coordinator-memory separation is visible; at paper scale
+            # (millions of points) any mu leaves union << n.
+            return MapReduceKCenterOutliers(
+                k, z, ell=ell, coreset_multiplier=1, randomized=True,
+                include_log_term=False, random_state=bench_seed(),
+                backend=backend, max_workers=2,
+            )
+
+        start = time.perf_counter()
+        in_memory = solver().fit(points)
+        in_memory_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        streamed = solver().fit_stream(ArrayStream(points), chunk_size=chunk_size)
+        streamed_s = time.perf_counter() - start
+
+        # The acceptance contract: identical solutions, bounded coordinator.
+        np.testing.assert_array_equal(
+            streamed.center_indices, in_memory.center_indices
+        )
+        assert streamed.radius == in_memory.radius
+        np.testing.assert_array_equal(
+            streamed.outlier_indices, in_memory.outlier_indices
+        )
+        assert in_memory.stats.coordinator_peak_items >= n
+        assert streamed.stats.coordinator_peak_items <= max(
+            chunk_size, streamed.coreset_size
+        )
+        if max(chunk_size, streamed.coreset_size) < n:
+            assert streamed.stats.coordinator_peak_items < n
+
+        for mode, result, elapsed in (
+            ("in-memory", in_memory, in_memory_s),
+            ("streamed", streamed, streamed_s),
+        ):
+            records.append({
+                "backend": backend,
+                "mode": mode,
+                "chunk_size": chunk_size if mode == "streamed" else None,
+                "n_points": n,
+                "radius": float(result.radius),
+                "points_per_sec": n / elapsed if elapsed > 0 else float("inf"),
+                "wall_time_s": elapsed,
+                "peak_local_memory": result.stats.peak_local_memory,
+                "coordinator_peak_items": result.stats.coordinator_peak_items,
+                "peak_working_memory": result.peak_working_memory_size,
+                "coordinator_peak_rss_kib": _peak_rss_kib(),
+            })
+
+    trajectory = {
+        "benchmark": "bench_fig7_streamed_shuffle",
+        "k": k,
+        "z": z,
+        "ell": ell,
+        "chunk_size": chunk_size,
+        "n_points": n,
+        "seed": bench_seed(),
+        "records": records,
+    }
+    with open(_mapreduce_trajectory_path(), "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+
+    print()
+    print(format_records(
+        records,
+        columns=["backend", "mode", "points_per_sec", "coordinator_peak_items",
+                 "peak_local_memory", "peak_working_memory", "coordinator_peak_rss_kib"],
+    ))
 
 
 def test_figure7_true_wallclock_scaling():

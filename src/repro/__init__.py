@@ -57,6 +57,7 @@ from .exceptions import (
     InvalidParameterError,
     MemoryBudgetExceededError,
     NotFittedError,
+    RadiusSearchError,
     ReproError,
     StreamingProtocolError,
 )
@@ -77,6 +78,7 @@ __all__ = [
     "MapReduceKCenterOutliers",
     "MemoryBudgetExceededError",
     "NotFittedError",
+    "RadiusSearchError",
     "OutliersClusterSolver",
     "ReproError",
     "SavedSolution",

@@ -32,9 +32,9 @@ from .core import (
     SequentialKCenter,
     SequentialKCenterOutliers,
 )
-from .datasets import inject_outliers, load_paper_dataset
+from .datasets import inject_outliers, load_paper_dataset, stream_paper_dataset
 from .mapreduce import available_backends
-from .streaming import ArrayStream, StreamingRunner
+from .streaming import ArrayStream, GeneratorStream, StreamingRunner
 from .evaluation import (
     ablation_coreset_stopping,
     ablation_partitioning,
@@ -75,12 +75,28 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_stream_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--from-stream", action="store_true",
+        help="drive the solver out of core: generate the dataset chunk by chunk "
+             "and route it through the streamed shuffle (fit_stream) so the "
+             "coordinator never holds the full point matrix",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=4096,
+        help="rows per shuffle chunk in --from-stream mode (the coordinator's "
+             "transient working set)",
+    )
+
+
 def _batch_size_or_none(value: int) -> int | None:
     """CLI convention: ``--batch-size 0`` selects the per-point path."""
     return None if value == 0 else value
 
 
 def _solve(args: argparse.Namespace) -> int:
+    if getattr(args, "from_stream", False) and args.command in ("mr-kcenter", "mr-outliers"):
+        return _solve_from_stream(args)
     points = load_paper_dataset(args.dataset, args.n_points, random_state=args.seed)
     if args.command in ("mr-outliers", "sequential-outliers", "stream-outliers"):
         injected = inject_outliers(points, args.z, random_state=args.seed + 1)
@@ -164,6 +180,74 @@ def _solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chunks_with_planted_outliers(args):
+    """Chunked dataset generation with the paper's outlier planting, out of core.
+
+    Mirrors the in-memory CLI path (which runs ``inject_outliers`` on the
+    full matrix) at chunk granularity: the ``z`` planted points are spread
+    proportionally over the chunks and each batch is injected relative to
+    its own enclosing ball, so no stage ever materialises the full
+    dataset. The planted scale tracks each chunk's extent rather than the
+    global MEB — the same far-away-outlier regime, chunk by chunk.
+    """
+    n, z = args.n_points, args.z
+    planted = 0
+    seen = 0
+    chunks = stream_paper_dataset(
+        args.dataset, n, chunk_size=args.chunk_size, random_state=args.seed
+    )
+    for index, chunk in enumerate(chunks):
+        seen += chunk.shape[0]
+        take = round(z * seen / n) - planted
+        if take > 0:
+            injected = inject_outliers(chunk, take, random_state=args.seed + 1 + index)
+            planted += take
+            yield injected.points
+        else:
+            yield chunk
+
+
+def _solve_from_stream(args: argparse.Namespace) -> int:
+    """Out-of-core solve: chunked dataset generation into the streamed shuffle."""
+    if args.command == "mr-outliers":
+        # Same problem instance as the in-memory path: z planted outliers
+        # ride along with the stream (chunk-wise injection).
+        chunks = _chunks_with_planted_outliers(args)
+        stream = GeneratorStream(chunks, length_hint=args.n_points + args.z)
+    else:
+        chunks = stream_paper_dataset(
+            args.dataset, args.n_points, chunk_size=args.chunk_size,
+            random_state=args.seed,
+        )
+        stream = GeneratorStream(chunks, length_hint=args.n_points)
+    if args.command == "mr-kcenter":
+        solver = MapReduceKCenter(
+            args.k, ell=args.ell, coreset_multiplier=args.mu, random_state=args.seed,
+            backend=args.backend, max_workers=args.workers,
+        )
+        result = solver.fit_stream(stream, chunk_size=args.chunk_size)
+        row = {"algorithm": "MapReduceKCenter (streamed)"}
+    else:
+        solver = MapReduceKCenterOutliers(
+            args.k, args.z, ell=args.ell, coreset_multiplier=args.mu,
+            randomized=args.randomized, include_log_term=False, random_state=args.seed,
+            backend=args.backend, max_workers=args.workers,
+        )
+        result = solver.fit_stream(stream, chunk_size=args.chunk_size)
+        row = {"algorithm": "MapReduceKCenterOutliers (streamed)"}
+    row.update({
+        "backend": args.backend or "serial",
+        "chunk_size": args.chunk_size,
+        "radius": result.radius,
+        "coreset_size": result.coreset_size,
+        "peak_local_memory": result.stats.peak_local_memory,
+        "coordinator_peak": result.stats.coordinator_peak_items,
+        "peak_working_memory": result.peak_working_memory_size,
+    })
+    print(format_records([row]))
+    return 0
+
+
 def _run_figure(args: argparse.Namespace) -> int:
     datasets = default_datasets(n_points=args.n_points, random_state=args.seed)
     figure = args.figure
@@ -229,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_common_dataset_arguments(sub)
         if name.startswith("mr-"):
             _add_backend_arguments(sub)
+            _add_stream_arguments(sub)
         if name.startswith("stream-"):
             _add_batch_size_argument(sub)
         sub.set_defaults(handler=_solve)

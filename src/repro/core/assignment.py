@@ -66,11 +66,16 @@ class Clustering:
         return radius_from_distances(self.distances, n_outliers)
 
     def outlier_indices(self, n_outliers: int) -> np.ndarray:
-        """Indices of the ``n_outliers`` points farthest from their centers."""
+        """Indices of the ``n_outliers`` points farthest from their centers.
+
+        Ties at the cut-off are broken deterministically towards larger
+        indices (stable sort), so the selection is reproducible across
+        the in-memory and streamed drive paths.
+        """
         n_outliers = check_non_negative_int(n_outliers, name="n_outliers")
         if n_outliers == 0:
             return np.empty(0, dtype=np.intp)
-        order = np.argsort(self.distances)
+        order = np.argsort(self.distances, kind="stable")
         return np.sort(order[-n_outliers:])
 
 
@@ -95,12 +100,13 @@ def assign_to_centers(
             f"points and centers must share the dimension; got {pts.shape[1]} and {ctrs.shape[1]}"
         )
     metric = get_metric(metric)
-    cross = metric.cdist(pts, ctrs)
-    assignment = np.argmin(cross, axis=1)
-    distances = cross[np.arange(pts.shape[0]), assignment]
+    # Blocked nearest-center kernel: the full (n, k) cross matrix is never
+    # materialised, so assigning a huge dataset to a handful of centers
+    # costs O(n) output memory instead of O(n * k).
+    distances, assignment = metric.nearest(pts, ctrs)
     return Clustering(
         centers=ctrs,
-        assignment=assignment.astype(np.intp),
+        assignment=assignment,
         distances=distances,
         radius=float(distances.max()),
     )

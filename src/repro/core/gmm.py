@@ -89,6 +89,9 @@ class GMM:
     complexity quoted in the paper for the coreset construction.
     """
 
+    #: Initial capacity of the growable center/radius-history buffers.
+    _INITIAL_CAPACITY = 16
+
     def __init__(
         self,
         points,
@@ -110,8 +113,18 @@ class GMM:
                 f"first_center must be a valid point index in [0, {n}); got {first_center}"
             )
 
-        self._center_indices: list[int] = [int(first_center)]
-        self._distances = self._metric.point_to_points(
+        # Centers and radius history live in capacity-doubling buffers so the
+        # read-only property views below are O(1) aliases instead of O(tau)
+        # copies on every access.
+        capacity = self._INITIAL_CAPACITY
+        self._centers_buf = np.empty(capacity, dtype=np.intp)
+        self._radius_buf = np.empty(capacity, dtype=np.float64)
+        self._n_centers = 0
+
+        # The one-vs-many distance pass is blocked so its broadcast
+        # temporaries stay bounded for the L1/L-inf metrics even on
+        # partition-sized inputs.
+        self._distances = self._metric.point_to_points_blocked(
             self._points[first_center], self._points
         )
         # Vectorised distance kernels can leave ~1e-8 noise on the distance of
@@ -119,7 +132,25 @@ class GMM:
         # center is never re-selected as the "farthest" point.
         self._distances[first_center] = 0.0
         self._assignment = np.zeros(n, dtype=np.intp)
-        self._radius_history: list[float] = [float(self._distances.max())]
+        self._append_center(int(first_center), float(self._distances.max()))
+
+    def _append_center(self, center: int, radius: float) -> None:
+        if self._n_centers == self._centers_buf.shape[0]:
+            self._centers_buf = np.concatenate(
+                [self._centers_buf, np.empty_like(self._centers_buf)]
+            )
+            self._radius_buf = np.concatenate(
+                [self._radius_buf, np.empty_like(self._radius_buf)]
+            )
+        self._centers_buf[self._n_centers] = center
+        self._radius_buf[self._n_centers] = radius
+        self._n_centers += 1
+
+    @staticmethod
+    def _readonly(array: np.ndarray) -> np.ndarray:
+        view = array.view()
+        view.flags.writeable = False
+        return view
 
     # -- read-only state ------------------------------------------------------------
 
@@ -131,32 +162,49 @@ class GMM:
     @property
     def n_centers(self) -> int:
         """Number of centers selected so far."""
-        return len(self._center_indices)
+        return self._n_centers
 
     @property
     def centers(self) -> np.ndarray:
-        """Indices of the centers selected so far (selection order)."""
-        return np.array(self._center_indices, dtype=np.intp)
+        """Indices of the centers selected so far (selection order).
+
+        Returned as a read-only O(1) view into the traversal's storage
+        (no copy); contents reflect the state at access time and may be
+        invalidated by further extension. Use :meth:`result` for a
+        stable snapshot.
+        """
+        return self._readonly(self._centers_buf[: self._n_centers])
 
     @property
     def radius(self) -> float:
         """Current radius ``max_s d(s, T)`` of the traversal."""
-        return self._radius_history[-1]
+        return float(self._radius_buf[self._n_centers - 1])
 
     @property
     def radius_history(self) -> np.ndarray:
-        """Radius after each selection; a non-increasing sequence."""
-        return np.array(self._radius_history)
+        """Radius after each selection; a non-increasing sequence.
+
+        Read-only view semantics, exactly as :attr:`centers`.
+        """
+        return self._readonly(self._radius_buf[: self._n_centers])
 
     @property
     def assignment(self) -> np.ndarray:
-        """Closest-center position (into :attr:`centers`) for every point."""
-        return np.array(self._assignment)
+        """Closest-center position (into :attr:`centers`) for every point.
+
+        Read-only *aliasing* view: later extension steps update the
+        array in place, so a handle obtained here observes them. Copy if
+        a snapshot is needed (:meth:`result` does).
+        """
+        return self._readonly(self._assignment)
 
     @property
     def distances_to_centers(self) -> np.ndarray:
-        """Distance from every point to its closest selected center."""
-        return np.array(self._distances)
+        """Distance from every point to its closest selected center.
+
+        Read-only view semantics, exactly as :attr:`assignment`.
+        """
+        return self._readonly(self._distances)
 
     def radius_at(self, n_centers: int) -> float:
         """Radius the traversal had after selecting ``n_centers`` centers."""
@@ -165,7 +213,7 @@ class GMM:
             raise InvalidParameterError(
                 f"only {self.n_centers} centers selected so far; cannot report radius at {n_centers}"
             )
-        return self._radius_history[n_centers - 1]
+        return float(self._radius_buf[n_centers - 1])
 
     # -- extension -------------------------------------------------------------------
 
@@ -179,15 +227,15 @@ class GMM:
         if self.n_centers >= self.n_points or self.radius == 0.0:
             return False
         next_center = int(np.argmax(self._distances))
-        self._center_indices.append(next_center)
-        new_distances = self._metric.point_to_points(
+        new_distances = self._metric.point_to_points_blocked(
             self._points[next_center], self._points
         )
         new_distances[next_center] = 0.0
         closer = new_distances < self._distances
-        self._distances = np.where(closer, new_distances, self._distances)
-        self._assignment[closer] = self.n_centers - 1
-        self._radius_history.append(float(self._distances.max()))
+        # In-place updates keep previously handed-out views aliased.
+        self._distances[closer] = new_distances[closer]
+        self._assignment[closer] = self._n_centers
+        self._append_center(next_center, float(self._distances.max()))
         return True
 
     def extend_to(self, n_centers: int) -> None:
@@ -206,12 +254,17 @@ class GMM:
                 break
 
     def result(self) -> GMMResult:
-        """Snapshot the current traversal as an immutable :class:`GMMResult`."""
+        """Snapshot the current traversal as an immutable :class:`GMMResult`.
+
+        Unlike the property accessors (which return aliasing views), the
+        snapshot owns copies, so it stays valid if the traversal keeps
+        extending afterwards.
+        """
         return GMMResult(
-            centers=self.centers,
+            centers=np.array(self.centers),
             radius=self.radius,
-            radius_history=self.radius_history,
-            assignment=self.assignment,
+            radius_history=np.array(self.radius_history),
+            assignment=np.array(self.assignment),
         )
 
 

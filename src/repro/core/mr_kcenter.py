@@ -31,11 +31,18 @@ from .._validation import check_points, check_positive_int, check_random_state
 from ..exceptions import InvalidParameterError
 from ..mapreduce.backends import ExecutorBackend, SharedArray
 from ..mapreduce.partitioner import (
+    draw_partition_seeds,
     split_contiguous,
     split_random,
     split_round_robin,
 )
-from ..mapreduce.runtime import JobStats, MapReduceRuntime
+from ..mapreduce.runtime import (
+    JobStats,
+    MapReduceRuntime,
+    StreamedPartition,
+    identity_mapper,
+    shuffle_point_stream,
+)
 from ..metricspace.distance import Metric, get_metric
 from .assignment import assign_to_centers
 from .coreset import CoresetSpec, build_coreset
@@ -71,6 +78,42 @@ class _SolvePhaseOutput:
     center_indices: np.ndarray
     coreset_size: int
     elapsed: float
+
+
+# -- streamed (out-of-core) shuffle payloads and reducers ------------------------------
+
+
+@dataclass(frozen=True)
+class _StreamedCoreset:
+    """Round-1 output on the streamed path: coreset rows with global indices."""
+
+    points: np.ndarray
+    origin_indices: np.ndarray
+    elapsed: float
+
+    def __len__(self) -> int:
+        return int(self.points.shape[0])
+
+
+@dataclass(frozen=True)
+class _StreamedSolution:
+    """Round-2 output on the streamed path: the solution with coordinates."""
+
+    centers: np.ndarray
+    center_indices: np.ndarray
+    coreset_size: int
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class _AssignTask:
+    """Round-3 input on the streamed path: score one partition against the centers."""
+
+    partition: StreamedPartition
+    centers: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.partition)
 
 
 def _coreset_reducer(
@@ -129,6 +172,89 @@ def _solve_reducer(
     ]
 
 
+def _stream_coreset_reducer(
+    partition_id,
+    values,
+    *,
+    spec: CoresetSpec,
+    metric: Metric,
+    seeds: tuple[int, ...],
+):
+    """Build the coreset of one streamed partition (round-1 reducer; picklable).
+
+    Identical to :func:`_coreset_reducer` except that the reducer works
+    on its own partition matrix (no full shared dataset exists) and
+    therefore forwards coreset *coordinates* alongside the global
+    indices.
+    """
+    part: StreamedPartition = values[0]
+    start = time.perf_counter()
+    result = build_coreset(
+        part.points.array,
+        spec,
+        metric,
+        weighted=False,
+        first_center=None,
+        random_state=seeds[partition_id],
+    )
+    elapsed = time.perf_counter() - start
+    return [
+        (
+            0,
+            _StreamedCoreset(
+                points=part.points.array[result.center_indices],
+                origin_indices=part.indices.array[result.center_indices],
+                elapsed=elapsed,
+            ),
+        )
+    ]
+
+
+def _stream_solve_reducer(
+    _key,
+    values,
+    *,
+    k: int,
+    metric: Metric,
+    seed: int,
+):
+    """Run GMM on the union of the streamed coresets (round-2 reducer; picklable)."""
+    union_points = np.concatenate([value.points for value in values])
+    union_origin = np.concatenate([value.origin_indices for value in values])
+    start = time.perf_counter()
+    solution = gmm_select(
+        union_points,
+        k,
+        metric,
+        first_center=None,
+        random_state=seed,
+    )
+    elapsed = time.perf_counter() - start
+    return [
+        (
+            0,
+            _StreamedSolution(
+                centers=union_points[solution.centers],
+                center_indices=union_origin[solution.centers],
+                coreset_size=int(union_points.shape[0]),
+                elapsed=elapsed,
+            ),
+        )
+    ]
+
+
+def _stream_assign_reducer(_partition_id, values, *, metric: Metric):
+    """Radius of one partition w.r.t. the final centers (round-3 reducer; picklable).
+
+    Uses the blocked :meth:`~repro.metricspace.distance.Metric.nearest`
+    kernel, so the reducer's working set stays at its partition plus the
+    ``k`` centers — never the ``(n_i, k)`` cross matrix.
+    """
+    task: _AssignTask = values[0]
+    distances, _ = metric.nearest(task.partition.points.array, task.centers)
+    return [(0, float(distances.max()))]
+
+
 @dataclass(frozen=True)
 class MRKCenterResult:
     """Result of a 2-round MapReduce k-center run.
@@ -155,6 +281,11 @@ class MRKCenterResult:
         or use ``stats`` for the slowest-reducer estimate).
     solve_time:
         Wall-clock seconds spent solving on the union of the coresets.
+    peak_working_memory_size:
+        The paper's space metric (stored points): the largest working
+        set any single participant held — reducers *and* the
+        coordinator. ``O(n)`` for the in-memory drive path,
+        ``O(n/ell + chunk + union coreset)`` for the streamed one.
     """
 
     centers: np.ndarray
@@ -165,6 +296,7 @@ class MRKCenterResult:
     stats: JobStats
     coreset_time: float
     solve_time: float
+    peak_working_memory_size: int = 0
 
     @property
     def k(self) -> int:
@@ -264,12 +396,13 @@ class MapReduceKCenter:
         return CoresetSpec.from_epsilon(self.k, self.epsilon)
 
     def _partition(self, n: int, rng: np.random.Generator) -> list[np.ndarray]:
+        # Random partitioning can leave a part empty on tiny inputs; both
+        # MapReduce drivers handle that identically by *dropping* empty
+        # parts (the round-1 mappers skip them), which only lowers the
+        # effective parallelism — see tests/mapreduce/test_empty_partitions.py.
         ell = min(self.ell, n)
         if self.partitioning == "random":
-            parts = split_random(n, ell, random_state=rng)
-            if any(p.size == 0 for p in parts):
-                parts = split_round_robin(n, ell)
-            return parts
+            return split_random(n, ell, random_state=rng)
         return _PARTITIONERS[self.partitioning](n, ell)
 
     # -- main entry point --------------------------------------------------------------
@@ -287,17 +420,20 @@ class MapReduceKCenter:
         # Per-partition seeds (and the second-round seed) are drawn up front
         # so that reducers are free of shared mutable state and the result is
         # identical on every backend (serial, thread pool, process pool).
-        partition_seeds = tuple(int(rng.integers(2**31 - 1)) for _ in parts)
+        partition_seeds = draw_partition_seeds(rng, len(parts))
         final_seed = int(rng.integers(2**31 - 1))
 
         timings = {"coreset": 0.0}
 
         def first_round_mapper(_key, value):
             # The mapper only routes point indices to their partition; it is
-            # the constant-space transformation the paper describes.
+            # the constant-space transformation the paper describes. Empty
+            # parts (possible under random partitioning on tiny inputs) are
+            # dropped, matching the outlier driver and the streamed path.
             del value
             for partition_id, indices in enumerate(parts):
-                yield (partition_id, indices)
+                if indices.size:
+                    yield (partition_id, indices)
 
         def second_round_mapper(_key, value: _CoresetPhaseOutput):
             # Runs in the coordinator: harvest the per-partition build times
@@ -342,8 +478,120 @@ class MapReduceKCenter:
             center_indices=center_indices,
             radius=clustering.radius,
             coreset_size=solution.coreset_size,
-            ell=len(parts),
+            ell=sum(1 for p in parts if p.size),
             stats=stats,
             coreset_time=timings["coreset"],
             solve_time=solution.elapsed,
+            peak_working_memory_size=stats.peak_working_memory_size,
+        )
+
+    def fit_stream(self, stream, *, chunk_size: int = 4096) -> MRKCenterResult:
+        """Run the 2-round algorithm on a chunked point stream, out of core.
+
+        Equivalent to :meth:`fit` on the same points in the same order —
+        bit-identical centers, indices and radius on every backend — but
+        the coordinator never materialises the ``(n, d)`` matrix: chunks
+        are routed straight into per-partition buffers (shared-memory
+        segments under the ``"processes"`` backend), the reducers build
+        their coresets from their own partitions, and the final radius is
+        computed by a third MapReduce round that scores each partition
+        against the centers with the blocked
+        :meth:`~repro.metricspace.distance.Metric.nearest` kernel. The
+        coordinator's working set is ``O(chunk_size + union coreset)``
+        (see ``stats.coordinator_peak_items``), which restores the
+        paper's memory model: dataset size is bounded by the *reducers'*
+        memory, not the coordinator's.
+
+        Parameters
+        ----------
+        stream:
+            A :class:`~repro.streaming.stream.PointStream`, or any
+            iterable of points / point batches (wrapped in a
+            :class:`~repro.streaming.stream.GeneratorStream`).
+            ``"contiguous"`` partitioning needs a stream with a known
+            length (``len(stream)``); unknown-length sources can use
+            ``"round_robin"`` or ``"random"``. For unknown-length
+            streams ``ell`` is used as given (the in-memory path caps it
+            at ``n``), so exact ``fit`` equivalence additionally needs
+            ``ell <= n`` or a sized stream.
+        chunk_size:
+            Rows per routing chunk; also the coordinator's transient
+            working set during the shuffle.
+        """
+        chunk_size = check_positive_int(chunk_size, name="chunk_size")
+        rng = check_random_state(self.random_state)
+        spec = self._coreset_spec()
+
+        with MapReduceRuntime(
+            local_memory_limit=self.local_memory_limit,
+            max_workers=self.max_workers,
+            backend=self.backend,
+        ) as runtime:
+            parts, n, _ = shuffle_point_stream(
+                runtime,
+                stream,
+                ell=self.ell,
+                partitioning=self.partitioning,
+                rng=rng,
+                chunk_size=chunk_size,
+            )
+            if self.k > n:
+                raise InvalidParameterError(f"k={self.k} exceeds the dataset size {n}")
+            partition_seeds = draw_partition_seeds(rng, len(parts))
+            final_seed = int(rng.integers(2**31 - 1))
+
+            coreset_pairs = [
+                (partition_id, part)
+                for partition_id, part in enumerate(parts)
+                if len(part)
+            ]
+            coreset_outputs = runtime.execute_round(
+                coreset_pairs,
+                identity_mapper,
+                partial(
+                    _stream_coreset_reducer,
+                    spec=spec,
+                    metric=self.metric,
+                    seeds=partition_seeds,
+                ),
+            )
+            coreset_time = sum(value.elapsed for _, value in coreset_outputs)
+
+            solution: _StreamedSolution = runtime.execute_round(
+                coreset_outputs,
+                identity_mapper,
+                partial(
+                    _stream_solve_reducer,
+                    k=self.k,
+                    metric=self.metric,
+                    seed=final_seed,
+                ),
+            )[0][1]
+            # The union of the coresets passed through the coordinator
+            # between rounds 1 and 2: charge it to the coordinator's peak.
+            runtime.note_coordinator_items(solution.coreset_size)
+
+            assign_pairs = [
+                (partition_id, _AssignTask(part, solution.centers))
+                for partition_id, part in enumerate(parts)
+                if len(part)
+            ]
+            assign_outputs = runtime.execute_round(
+                assign_pairs,
+                identity_mapper,
+                partial(_stream_assign_reducer, metric=self.metric),
+            )
+            radius = max(value for _, value in assign_outputs)
+            stats = runtime.stats
+
+        return MRKCenterResult(
+            centers=solution.centers,
+            center_indices=solution.center_indices,
+            radius=radius,
+            coreset_size=solution.coreset_size,
+            ell=len(coreset_pairs),
+            stats=stats,
+            coreset_time=coreset_time,
+            solve_time=solution.elapsed,
+            peak_working_memory_size=stats.peak_working_memory_size,
         )

@@ -37,12 +37,19 @@ from .._validation import (
 from ..exceptions import InvalidParameterError
 from ..mapreduce.backends import ExecutorBackend, SharedArray
 from ..mapreduce.partitioner import (
+    draw_partition_seeds,
     split_adversarial,
     split_contiguous,
     split_random,
     split_round_robin,
 )
-from ..mapreduce.runtime import JobStats, MapReduceRuntime
+from ..mapreduce.runtime import (
+    JobStats,
+    MapReduceRuntime,
+    StreamedPartition,
+    identity_mapper,
+    shuffle_point_stream,
+)
 from ..metricspace.distance import Metric, get_metric
 from ..metricspace.points import WeightedPoints
 from .assignment import assign_to_centers
@@ -82,7 +89,7 @@ def _coreset_reducer(
     points: SharedArray,
     spec: CoresetSpec,
     metric: Metric,
-    seeds: dict[int, int],
+    seeds: tuple[int, ...],
 ):
     """Build one partition's weighted coreset (round-1 reducer; picklable)."""
     indices = np.concatenate(values)
@@ -123,6 +130,77 @@ def _solve_reducer(
     return [(0, _SolvePhaseOutput(union, search, elapsed))]
 
 
+# -- streamed (out-of-core) shuffle reducers -------------------------------------------
+
+
+def _stream_coreset_reducer(
+    partition_id,
+    values,
+    *,
+    spec: CoresetSpec,
+    metric: Metric,
+    seeds: tuple[int, ...],
+):
+    """Build one streamed partition's weighted coreset (round-1 reducer; picklable).
+
+    Identical to :func:`_coreset_reducer` except that the reducer works
+    on its own partition matrix instead of indexing a full shared
+    dataset; global origin indices come from the partition's index
+    column.
+    """
+    part: StreamedPartition = values[0]
+    start = time.perf_counter()
+    result = build_coreset(
+        part.points.array,
+        spec,
+        metric,
+        weighted=True,
+        origin_offset=0,
+        first_center=None,
+        random_state=seeds[partition_id],
+    )
+    elapsed = time.perf_counter() - start
+    coreset = WeightedPoints(
+        points=result.coreset.points,
+        weights=result.coreset.weights,
+        origin_indices=part.indices.array[result.center_indices],
+    )
+    return [(0, _CoresetPhaseOutput(coreset, elapsed))]
+
+
+@dataclass(frozen=True)
+class _OutlierAssignTask:
+    """Round-3 input on the streamed path: score one partition against the centers."""
+
+    partition: StreamedPartition
+    centers: np.ndarray
+    z: int
+
+    def __len__(self) -> int:
+        return len(self.partition)
+
+
+def _stream_assign_reducer(_partition_id, values, *, metric: Metric):
+    """Per-partition distance summary vs the final centers (round-3; picklable).
+
+    Uses the blocked :meth:`~repro.metricspace.distance.Metric.nearest`
+    kernel and returns only what the coordinator needs to reconstruct
+    the global outlier set: the partition's ``z + 1`` largest
+    center-distances with their global indices. Merging the
+    per-partition top lists recovers the exact global top ``z + 1``
+    (every globally-large distance is large within its partition).
+    """
+    task: _OutlierAssignTask = values[0]
+    indices = task.partition.indices.array
+    distances, _ = metric.nearest(task.partition.points.array, task.centers)
+    keep = min(task.z + 1, distances.shape[0])
+    # Order by (distance, global index) — the same tie-break the global
+    # selection uses — so the kept candidates are exactly the ones the
+    # in-memory path would pick among equal distances.
+    order = np.lexsort((indices, distances))[-keep:]
+    return [(0, (distances[order], indices[order]))]
+
+
 @dataclass(frozen=True)
 class MROutliersResult:
     """Result of a 2-round MapReduce k-center-with-outliers run.
@@ -155,6 +233,11 @@ class MROutliersResult:
         over partitions; radius search + OUTLIERSCLUSTER for the solve).
     search_probes:
         Number of OUTLIERSCLUSTER executions performed by the radius search.
+    peak_working_memory_size:
+        The paper's space metric (stored points): the largest working
+        set any single participant held — reducers *and* the
+        coordinator. ``O(n)`` for the in-memory drive path,
+        ``O(n/ell + chunk + union coreset)`` for the streamed one.
     """
 
     centers: np.ndarray
@@ -170,6 +253,7 @@ class MROutliersResult:
     coreset_time: float
     solve_time: float
     search_probes: int
+    peak_working_memory_size: int = 0
 
     @property
     def k(self) -> int:
@@ -300,11 +384,11 @@ class MapReduceKCenterOutliers:
         return CoresetSpec.from_epsilon(base, self.epsilon)
 
     def _partition(self, n: int, ell: int, rng: np.random.Generator) -> list[np.ndarray]:
+        # Empty parts (possible under random partitioning on tiny inputs)
+        # are dropped by the round-1 mapper, identically in both MapReduce
+        # drivers — see tests/mapreduce/test_empty_partitions.py.
         if self.randomized or self.partitioning == "random":
-            parts = split_random(n, ell, random_state=rng)
-            if any(p.size == 0 for p in parts):
-                parts = split_round_robin(n, ell)
-            return parts
+            return split_random(n, ell, random_state=rng)
         if self.partitioning == "adversarial":
             return split_adversarial(
                 n, ell, self.adversarial_indices, random_state=rng
@@ -331,9 +415,7 @@ class MapReduceKCenterOutliers:
         # Per-partition seeds are drawn up front so reducers carry no shared
         # random state; results are identical on every backend (serial,
         # thread pool, process pool).
-        partition_seeds = {
-            partition_id: int(rng.integers(2**31 - 1)) for partition_id in range(len(parts))
-        }
+        partition_seeds = draw_partition_seeds(rng, len(parts))
 
         timings = {"coreset": 0.0}
 
@@ -398,10 +480,158 @@ class MapReduceKCenterOutliers:
             outlier_indices=clustering.outlier_indices(self.z),
             estimated_radius=search.radius,
             coreset_size=len(union),
-            ell=ell,
+            ell=sum(1 for p in parts if p.size),
             randomized=self.randomized,
             stats=stats,
             coreset_time=timings["coreset"],
             solve_time=solution.elapsed,
             search_probes=search.probes,
+            peak_working_memory_size=stats.peak_working_memory_size,
+        )
+
+    def fit_stream(self, stream, *, chunk_size: int = 4096) -> MROutliersResult:
+        """Run the 2-round algorithm on a chunked point stream, out of core.
+
+        Equivalent to :meth:`fit` on the same points in the same order —
+        bit-identical centers, radii and outlier sets on every backend —
+        without the coordinator ever materialising the ``(n, d)``
+        matrix. The shuffle routes chunks directly into per-partition
+        buffers (shared-memory segments under the ``"processes"``
+        backend); a third MapReduce round evaluates the final solution
+        by scoring each partition against the centers with the blocked
+        :meth:`~repro.metricspace.distance.Metric.nearest` kernel and
+        returning only its ``z + 1`` largest distances, from which the
+        coordinator reconstructs the exact global outlier set and radii.
+
+        Parameters
+        ----------
+        stream:
+            A :class:`~repro.streaming.stream.PointStream`, or any
+            iterable of points / point batches. ``"contiguous"``
+            partitioning needs a known stream length;
+            ``"adversarial"`` partitioning is inherently offline and not
+            supported here. For unknown-length streams ``ell`` is used
+            as given (the in-memory path caps it at ``n``), so exact
+            ``fit`` equivalence additionally needs ``ell <= n`` or a
+            sized stream.
+        chunk_size:
+            Rows per routing chunk; also the coordinator's transient
+            working set during the shuffle.
+        """
+        chunk_size = check_positive_int(chunk_size, name="chunk_size")
+        if self.partitioning == "adversarial" and not self.randomized:
+            raise InvalidParameterError(
+                "adversarial partitioning requires the full index set up front "
+                "and cannot be streamed; use fit() instead"
+            )
+        rng = check_random_state(self.random_state)
+        partitioning = (
+            "random" if self.randomized or self.partitioning == "random"
+            else self.partitioning
+        )
+
+        with MapReduceRuntime(
+            local_memory_limit=self.local_memory_limit,
+            max_workers=self.max_workers,
+            backend=self.backend,
+        ) as runtime:
+            parts, n, ell = shuffle_point_stream(
+                runtime,
+                stream,
+                ell=self.ell,
+                partitioning=partitioning,
+                rng=rng,
+                chunk_size=chunk_size,
+            )
+            if self.k > n:
+                raise InvalidParameterError(f"k={self.k} exceeds the dataset size {n}")
+            if self.z >= n:
+                raise InvalidParameterError(
+                    f"z={self.z} must be smaller than the dataset size {n}"
+                )
+            spec = self._coreset_spec(n, ell)
+            partition_seeds = draw_partition_seeds(rng, len(parts))
+
+            coreset_pairs = [
+                (partition_id, part)
+                for partition_id, part in enumerate(parts)
+                if len(part)
+            ]
+            coreset_outputs = runtime.execute_round(
+                coreset_pairs,
+                identity_mapper,
+                partial(
+                    _stream_coreset_reducer,
+                    spec=spec,
+                    metric=self.metric,
+                    seeds=partition_seeds,
+                ),
+            )
+            coreset_time = sum(value.elapsed for _, value in coreset_outputs)
+
+            solve_pairs = [(0, value.coreset) for _, value in coreset_outputs]
+            solution: _SolvePhaseOutput = runtime.execute_round(
+                solve_pairs,
+                identity_mapper,
+                partial(
+                    _solve_reducer,
+                    k=self.k,
+                    z=self.z,
+                    eps_hat=self.eps_hat,
+                    metric=self.metric,
+                ),
+            )[0][1]
+            union = solution.union
+            search = solution.search
+            runtime.note_coordinator_items(len(union))
+            coreset_center_positions = search.solution.center_indices
+            centers = union.points[coreset_center_positions]
+            center_indices = (
+                union.origin_indices[coreset_center_positions]
+                if union.origin_indices is not None
+                else np.full(coreset_center_positions.shape[0], -1, dtype=np.intp)
+            )
+
+            assign_pairs = [
+                (partition_id, _OutlierAssignTask(part, centers, self.z))
+                for partition_id, part in enumerate(parts)
+                if len(part)
+            ]
+            assign_outputs = runtime.execute_round(
+                assign_pairs,
+                identity_mapper,
+                partial(_stream_assign_reducer, metric=self.metric),
+            )
+            stats = runtime.stats
+
+        # Merge the per-partition top-(z+1) summaries into the global
+        # outlier set. Sorting by (distance, index) reproduces the stable
+        # tie-break of Clustering.outlier_indices, so the streamed path
+        # selects exactly the outliers the in-memory path selects.
+        top_distances = np.concatenate([value[0] for _, value in assign_outputs])
+        top_indices = np.concatenate([value[1] for _, value in assign_outputs])
+        order = np.lexsort((top_indices, top_distances))
+        radius_all = float(top_distances[order[-1]])
+        if self.z == 0:
+            outlier_indices = np.empty(0, dtype=np.intp)
+            radius = radius_all
+        else:
+            outlier_indices = np.sort(top_indices[order[-self.z :]])
+            radius = float(top_distances[order[-(self.z + 1)]])
+
+        return MROutliersResult(
+            centers=centers,
+            center_indices=center_indices,
+            radius=radius,
+            radius_all_points=radius_all,
+            outlier_indices=outlier_indices,
+            estimated_radius=search.radius,
+            coreset_size=len(union),
+            ell=len(coreset_pairs),
+            randomized=self.randomized,
+            stats=stats,
+            coreset_time=coreset_time,
+            solve_time=solution.elapsed,
+            search_probes=search.probes,
+            peak_working_memory_size=stats.peak_working_memory_size,
         )

@@ -76,6 +76,17 @@ class MapReducePlan:
         Worker count to pass to the runtime for that backend: 1 for the
         serial reference, otherwise ``min(ell, cpu_count)`` — more
         workers than round-1 reducers can never help.
+    streamed:
+        Whether the plan targets the out-of-core drive path
+        (``fit_stream``); chunked ingestion keeps the coordinator's
+        working set at ``chunk_size + union`` instead of ``n``.
+    chunk_size:
+        Suggested shuffle chunk size for the streamed path.
+    coordinator_memory:
+        Predicted coordinator working set (points): ``n`` for the
+        in-memory path, ``chunk_size + union`` for the streamed one —
+        the quantity that decides whether a dataset fits the machine
+        driving the job.
     """
 
     ell: int
@@ -88,6 +99,9 @@ class MapReducePlan:
     variant: str
     backend: str = "serial"
     suggested_workers: int = 1
+    streamed: bool = False
+    chunk_size: int = 4096
+    coordinator_memory: int = 0
 
 
 @dataclass(frozen=True)
@@ -140,6 +154,8 @@ def plan_mapreduce(
     sample=None,
     random_state=None,
     backend: str | None = None,
+    streamed: bool = False,
+    chunk_size: int = 4096,
 ) -> MapReducePlan:
     """Suggest ``ell`` and coreset sizes for the MapReduce algorithms.
 
@@ -167,6 +183,14 @@ def plan_mapreduce(
         :func:`repro.mapreduce.available_backends`). ``None`` picks
         ``"processes"`` on multi-core machines and ``"serial"``
         otherwise; the plan's ``suggested_workers`` is sized accordingly.
+    streamed:
+        Plan the out-of-core drive path (``fit_stream`` with chunked
+        ingestion) instead of the in-memory one. The predicted
+        ``coordinator_memory`` then drops from ``n`` to
+        ``chunk_size + union coreset``, which is what makes datasets
+        larger than the coordinator's RAM plannable at all.
+    chunk_size:
+        Shuffle chunk size assumed for the streamed path.
     """
     n = check_positive_int(n, name="n")
     k = check_positive_int(k, name="k")
@@ -208,6 +232,8 @@ def plan_mapreduce(
     practical = min(int(round(practical_multiplier * base)), per_partition)
     union = practical * ell
     local_memory = max(per_partition, union)
+    chunk_size = check_positive_int(chunk_size, name="chunk_size")
+    coordinator_memory = min(chunk_size, n) + union if streamed else n
 
     return MapReducePlan(
         ell=ell,
@@ -220,6 +246,9 @@ def plan_mapreduce(
         variant=variant,
         backend=backend,
         suggested_workers=1 if backend == "serial" else max(1, min(ell, cpus)),
+        streamed=bool(streamed),
+        chunk_size=chunk_size,
+        coordinator_memory=coordinator_memory,
     )
 
 

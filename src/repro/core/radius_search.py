@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .._validation import check_non_negative_int
-from ..exceptions import InvalidParameterError
+from ..exceptions import InvalidParameterError, RadiusSearchError
 from .outliers_cluster import OutliersClusterResult, OutliersClusterSolver
 
 __all__ = ["RadiusSearchResult", "search_radius", "delta_for"]
@@ -85,6 +85,18 @@ def search_radius(
     -------
     RadiusSearchResult
 
+    Raises
+    ------
+    RadiusSearchError
+        If either geometric loop exhausts ``max_geometric_steps`` without
+        establishing its invariant — the upward doubling fallback without
+        finding any feasible radius, or the downward refinement without
+        bracketing ``r_min`` (possible when ``delta`` is tiny relative to
+        the gap between the smallest feasible candidate and the largest
+        infeasible one, e.g. on near-degenerate coresets). The failure is
+        loud because returning the last probe would silently void the
+        ``(1 + delta)`` tolerance the paper's analysis relies on.
+
     Notes
     -----
     The candidate set is the sorted list of pairwise coreset distances.
@@ -136,8 +148,9 @@ def search_radius(
                 best_radius = radius
                 break
         if best_result is None:
-            raise InvalidParameterError(
-                "radius search failed to find any feasible radius; "
+            raise RadiusSearchError(
+                f"no feasible radius found after doubling {max_geometric_steps} "
+                f"times from the largest pairwise distance {candidates[hi]!r}; "
                 "check that k >= 1 and the coreset is well formed"
             )
     infeasible_floor = 0.0
@@ -159,15 +172,36 @@ def search_radius(
     # multiplicative tolerance on r_min.
     if delta > 0:
         radius = best_radius
+        converged = False
         for _ in range(max_geometric_steps):
             candidate = radius / (1.0 + delta)
             if candidate <= infeasible_floor or candidate <= 0:
+                converged = True
                 break
             result = feasible(candidate)
             if result is None:
+                converged = True
                 break
             best_radius = candidate
             best_result = result
             radius = candidate
+        if not converged:
+            # The loop may have established the invariant on its very last
+            # shrink: if the *next* candidate would have crossed the floor,
+            # best_radius is already within (1 + delta) of r_min.
+            next_candidate = radius / (1.0 + delta)
+            converged = next_candidate <= infeasible_floor or next_candidate <= 0
+        if not converged:
+            # The walk kept finding feasible radii after max_geometric_steps
+            # shrinks — a tiny delta, or a coreset whose candidate distances
+            # leave a huge feasible gap above the infeasible floor. Returning
+            # best_radius here would silently drop the (1 + delta) guarantee
+            # on r_min, so fail loudly instead.
+            raise RadiusSearchError(
+                f"geometric refinement did not converge within "
+                f"{max_geometric_steps} steps (delta={delta!r}, reached "
+                f"radius {best_radius!r}, infeasible floor {infeasible_floor!r}); "
+                "increase max_geometric_steps or use a larger delta/eps_hat"
+            )
 
     return RadiusSearchResult(radius=best_radius, solution=best_result, probes=probes)

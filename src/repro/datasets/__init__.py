@@ -2,7 +2,14 @@
 
 from .files import load_higgs_csv, load_numeric_csv, load_power_csv
 from .inflation import coordinate_noise_scale, inflate, inflate_streaming
-from .loaders import PAPER_DATASETS, higgs_like, load_paper_dataset, power_like, wiki_like
+from .loaders import (
+    PAPER_DATASETS,
+    higgs_like,
+    load_paper_dataset,
+    power_like,
+    stream_paper_dataset,
+    wiki_like,
+)
 from .outliers import OutlierInjection, inject_outliers
 from .synthetic import (
     GaussianMixtureSpec,
@@ -31,6 +38,7 @@ __all__ = [
     "load_power_csv",
     "points_on_manifold",
     "power_like",
+    "stream_paper_dataset",
     "uniform_hypercube",
     "wiki_like",
 ]

@@ -30,7 +30,14 @@ import numpy as np
 from .._validation import check_positive_int, check_random_state
 from .synthetic import GaussianMixtureSpec, gaussian_mixture
 
-__all__ = ["higgs_like", "power_like", "wiki_like", "load_paper_dataset", "PAPER_DATASETS"]
+__all__ = [
+    "higgs_like",
+    "power_like",
+    "wiki_like",
+    "load_paper_dataset",
+    "stream_paper_dataset",
+    "PAPER_DATASETS",
+]
 
 
 def higgs_like(n_points: int = 20_000, *, random_state=None) -> np.ndarray:
@@ -117,3 +124,39 @@ def load_paper_dataset(name: str, n_points: int, *, random_state=None) -> np.nda
         available = ", ".join(sorted(PAPER_DATASETS))
         raise KeyError(f"unknown paper dataset {name!r}; available: {available}")
     return PAPER_DATASETS[key](n_points, random_state=random_state)
+
+
+def stream_paper_dataset(name: str, n_points: int, *, chunk_size: int = 4096, random_state=None):
+    """Generate a paper-dataset stand-in as a chunked stream, out of core.
+
+    Yields ``(m, d)`` chunks (``m <= chunk_size``) totalling ``n_points``
+    points without ever materialising the full matrix — the generator
+    produces each chunk on demand from a shared seeded generator, so the
+    stream is deterministic for a given ``(name, n_points, chunk_size,
+    random_state)``. Feed the result to a
+    :class:`~repro.streaming.stream.GeneratorStream` or directly to the
+    MapReduce drivers' ``fit_stream`` to exercise the out-of-core path
+    on datasets larger than the coordinator's memory.
+
+    Note that chunk-wise generation draws different variates than one
+    full-size :func:`load_paper_dataset` call, so the *data* differs
+    between the two entry points (both are valid stand-ins); determinism
+    holds within each entry point.
+    """
+    n_points = check_positive_int(n_points, name="n_points")
+    chunk_size = check_positive_int(chunk_size, name="chunk_size")
+    key = name.lower()
+    if key not in PAPER_DATASETS:
+        available = ", ".join(sorted(PAPER_DATASETS))
+        raise KeyError(f"unknown paper dataset {name!r}; available: {available}")
+    generator = PAPER_DATASETS[key]
+    rng = check_random_state(random_state)
+
+    def chunks():
+        remaining = n_points
+        while remaining > 0:
+            take = min(chunk_size, remaining)
+            yield generator(take, random_state=rng)
+            remaining -= take
+
+    return chunks()

@@ -495,6 +495,9 @@ def figure7_scaling_processors(
                     "coreset_time_total_s": round1.sequential_time,
                     "solve_time_s": result.solve_time,
                     "wall_time_s": wall_time,
+                    "peak_local_memory": result.stats.peak_local_memory,
+                    "coordinator_peak_items": result.stats.coordinator_peak_items,
+                    "peak_working_memory": result.peak_working_memory_size,
                 }
             )
     return records

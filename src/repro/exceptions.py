@@ -43,5 +43,17 @@ class StreamingProtocolError(ReproError, RuntimeError):
     """
 
 
+class RadiusSearchError(ReproError, RuntimeError):
+    """The radius search failed to converge within its probe budget.
+
+    Raised by :func:`repro.core.radius_search.search_radius` when either
+    geometric loop (the upward doubling fallback or the downward
+    ``(1 + delta)`` refinement) exhausts ``max_geometric_steps`` without
+    establishing its invariant. Before this exception existed the search
+    silently returned the last radius probed — a feasible value, but one
+    without the documented ``(1 + delta)`` tolerance on ``r_min``.
+    """
+
+
 class NotFittedError(ReproError, RuntimeError):
     """A model/solver was queried for results before being run."""

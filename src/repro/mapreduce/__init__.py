@@ -2,6 +2,7 @@
 
 from .backends import (
     ExecutorBackend,
+    PartitionBuffer,
     ProcessBackend,
     SerialBackend,
     SharedArray,
@@ -10,26 +11,41 @@ from .backends import (
     resolve_backend,
 )
 from .partitioner import (
+    ChunkRouter,
+    draw_partition_seeds,
+    hashed_assignment,
     split_adversarial,
     split_contiguous,
     split_random,
     split_round_robin,
     validate_partition,
 )
-from .runtime import JobStats, KeyValue, MapReduceRuntime, RoundStats, default_sizeof
+from .runtime import (
+    JobStats,
+    KeyValue,
+    MapReduceRuntime,
+    RoundStats,
+    StreamShuffleResult,
+    default_sizeof,
+)
 
 __all__ = [
+    "ChunkRouter",
     "ExecutorBackend",
     "JobStats",
     "KeyValue",
     "MapReduceRuntime",
+    "PartitionBuffer",
     "ProcessBackend",
     "RoundStats",
     "SerialBackend",
     "SharedArray",
+    "StreamShuffleResult",
     "ThreadBackend",
     "available_backends",
     "default_sizeof",
+    "draw_partition_seeds",
+    "hashed_assignment",
     "resolve_backend",
     "split_adversarial",
     "split_contiguous",

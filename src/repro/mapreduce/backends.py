@@ -38,6 +38,7 @@ functions over picklable arguments. The k-center drivers in
 from __future__ import annotations
 
 import os
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from multiprocessing import shared_memory
@@ -53,6 +54,7 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "SharedArray",
+    "PartitionBuffer",
     "available_backends",
     "resolve_backend",
 ]
@@ -78,8 +80,30 @@ _ATTACHED_SEGMENTS: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {
 
 Keeping the :class:`~multiprocessing.shared_memory.SharedMemory` object
 alive here is load-bearing: if it were garbage collected, the buffer
-backing the returned array views would be unmapped under them.
+backing the returned array views would be unmapped under them. The cache
+is bounded by :func:`_evict_released_segments`: once nothing outside the
+cache references a segment's view (all tasks using it are done), the
+attachment is closed on the next attach — so a long-lived, caller-owned
+process pool reused across many runs does not accumulate mappings of
+segments the coordinator has long unlinked.
 """
+
+
+def _evict_released_segments() -> None:
+    """Close cached attachments that no task references anymore.
+
+    CPython reference counting makes this exact: the view's references
+    are the cache tuple, the local binding below, and ``getrefcount``'s
+    own argument — three in total when no :class:`SharedArray` (or any
+    array derived from the view without a copy) is alive outside the
+    cache. Entries still in use are left untouched.
+    """
+    for name in list(_ATTACHED_SEGMENTS):
+        segment, view = _ATTACHED_SEGMENTS[name]
+        if sys.getrefcount(view) <= 3:
+            del _ATTACHED_SEGMENTS[name]
+            del view
+            segment.close()
 
 
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:
@@ -108,6 +132,7 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
 def _attach_shared_array(meta: tuple[str, tuple, str]) -> "SharedArray":
     """Reconstruct a :class:`SharedArray` in a worker process from its metadata."""
     name, shape, dtype = meta
+    _evict_released_segments()
     cached = _ATTACHED_SEGMENTS.get(name)
     if cached is None:
         segment = _attach_untracked(name)
@@ -157,6 +182,20 @@ class SharedArray:
         view.flags.writeable = False
         return cls(view, segment=segment, meta=(segment.name, arr.shape, arr.dtype.str))
 
+    @classmethod
+    def from_filled_segment(
+        cls, segment: shared_memory.SharedMemory, shape: tuple, dtype: np.dtype
+    ) -> "SharedArray":
+        """Wrap an already-filled shared-memory segment without copying.
+
+        Used by :class:`PartitionBuffer` to hand off a partition matrix it
+        assembled chunk by chunk; ownership of ``segment`` transfers to
+        the returned wrapper (its :meth:`close` unlinks the segment).
+        """
+        view = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+        view.flags.writeable = False
+        return cls(view, segment=segment, meta=(segment.name, shape, np.dtype(dtype).str))
+
     @property
     def array(self) -> np.ndarray:
         """The underlying read-only ``ndarray``."""
@@ -202,6 +241,135 @@ class SharedArray:
             self._segment = None
 
 
+class PartitionBuffer:
+    """Append-only, capacity-doubling row buffer for one shuffle partition.
+
+    The out-of-core shuffle routes each incoming chunk's rows directly
+    into per-partition buffers so the coordinator never assembles the
+    full ``(n, d)`` matrix. Two storage flavours:
+
+    * ``shared=False`` — a plain NumPy array in the current address
+      space; right for the serial and thread backends, whose reducers
+      share the coordinator's memory anyway.
+    * ``shared=True`` — a POSIX shared-memory segment; right for the
+      process backend, where :meth:`finalize` yields a
+      :class:`SharedArray` that worker processes attach to by name
+      instead of receiving a pickled copy.
+
+    Capacity grows geometrically (amortised O(1) appends); for unknown-
+    length streams the overshoot is at most 2x the partition size, and
+    exact-size preallocation is available through ``initial_capacity``.
+    ``dimension=None`` stores scalar rows (a 1-d buffer), which the
+    drivers use for the global-index column that rides along with each
+    partition's points.
+    """
+
+    def __init__(
+        self,
+        dimension: int | None,
+        *,
+        dtype=np.float64,
+        shared: bool = False,
+        initial_capacity: int = 1024,
+    ) -> None:
+        if dimension is not None and dimension < 1:
+            raise InvalidParameterError("dimension must be >= 1 (or None for 1-d rows)")
+        if initial_capacity < 1:
+            raise InvalidParameterError("initial_capacity must be >= 1")
+        self._dimension = None if dimension is None else int(dimension)
+        self._dtype = np.dtype(dtype)
+        self._shared = bool(shared)
+        self._n = 0
+        self._segment, self._storage = self._allocate(int(initial_capacity))
+        self._finalized = False
+
+    def _shape(self, capacity) -> tuple:
+        if self._dimension is None:
+            return (capacity,)
+        return (capacity, self._dimension)
+
+    def _allocate(self, capacity: int):
+        """Allocate fresh storage of ``capacity`` rows; returns ``(segment, view)``."""
+        shape = self._shape(capacity)
+        if not self._shared:
+            return None, np.empty(shape, dtype=self._dtype)
+        nbytes = int(np.prod(shape)) * self._dtype.itemsize
+        segment = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        return segment, np.ndarray(shape, dtype=self._dtype, buffer=segment.buf)
+
+    @staticmethod
+    def _release(segment: shared_memory.SharedMemory | None) -> None:
+        if segment is not None:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    @property
+    def n_rows(self) -> int:
+        """Rows appended so far."""
+        return self._n
+
+    @property
+    def shared(self) -> bool:
+        """Whether the buffer lives in POSIX shared memory."""
+        return self._shared
+
+    def append(self, rows) -> None:
+        """Append a block of rows (``(m, d)``, or ``(m,)`` for 1-d buffers)."""
+        if self._finalized:
+            raise InvalidParameterError("cannot append to a finalized PartitionBuffer")
+        rows = np.asarray(rows, dtype=self._dtype)
+        expected_ndim = 1 if self._dimension is None else 2
+        if rows.ndim != expected_ndim or (
+            self._dimension is not None and rows.shape[1] != self._dimension
+        ):
+            raise InvalidParameterError(
+                f"rows must have shape {self._shape('m')}; got {rows.shape}"
+            )
+        m = rows.shape[0]
+        if m == 0:
+            return
+        needed = self._n + m
+        capacity = self._storage.shape[0]
+        if needed > capacity:
+            new_segment, grown = self._allocate(max(needed, 2 * capacity))
+            grown[: self._n] = self._storage[: self._n]
+            old_segment, self._segment = self._segment, new_segment
+            self._storage = grown
+            self._release(old_segment)
+        self._storage[self._n : needed] = rows
+        self._n = needed
+
+    def finalize(self) -> SharedArray:
+        """Seal the buffer and return its contents as a read-only :class:`SharedArray`.
+
+        Zero-copy: the returned wrapper views the buffer's own storage
+        (the shared-memory segment transfers to it for ``shared=True``
+        buffers). The buffer cannot be appended to afterwards.
+        """
+        if self._finalized:
+            raise InvalidParameterError("PartitionBuffer already finalized")
+        self._finalized = True
+        if self._shared:
+            segment = self._segment
+            self._segment = None
+            return SharedArray.from_filled_segment(
+                segment, self._shape(self._n), self._dtype
+            )
+        view = self._storage[: self._n]
+        view.flags.writeable = False
+        return SharedArray(view)
+
+    def close(self) -> None:
+        """Release a shared segment that was never handed off. Idempotent."""
+        if self._segment is not None:
+            self._storage = np.empty(self._shape(0), dtype=self._dtype)
+            segment, self._segment = self._segment, None
+            self._release(segment)
+
+
 # -- backends --------------------------------------------------------------------------
 
 
@@ -235,6 +403,9 @@ class SerialBackend:
     """Reference backend: reducers run sequentially in the calling process."""
 
     name = "serial"
+    #: Reducers share the coordinator's address space; shuffle partition
+    #: buffers can live on the plain heap.
+    uses_shared_memory = False
 
     def run_reducers(self, reducer, groups):
         return {key: _timed_reduce(reducer, key, values) for key, values in groups.items()}
@@ -250,6 +421,7 @@ class ThreadBackend:
     """Reducers run concurrently on a thread pool (shared address space, GIL applies)."""
 
     name = "threads"
+    uses_shared_memory = False
 
     def __init__(self, max_workers: int | None = None) -> None:
         self._max_workers = _check_workers(max_workers)
@@ -295,6 +467,9 @@ class ProcessBackend:
     """
 
     name = "processes"
+    #: Reducers run in separate processes; shuffle partition buffers are
+    #: placed in POSIX shared memory so tasks reference them by name.
+    uses_shared_memory = True
 
     def __init__(self, max_workers: int | None = None) -> None:
         self._max_workers = _check_workers(max_workers)

@@ -14,6 +14,19 @@ The paper uses three flavours:
 
 Every function returns a list of ``ell`` index arrays (some possibly
 empty for degenerate inputs) that together partition ``range(n)``.
+
+The first three strategies assign point ``i`` to a partition as a pure
+function of ``(i, n, ell)`` — the random strategy through a seeded
+counter-based hash (:func:`hashed_assignment`) rather than a sequential
+RNG draw. That makes every assignment *chunking-independent*: the
+streamed shuffle (:class:`ChunkRouter`) can recompute it for any chunk
+``[offset, offset + m)`` of the input without materialising the whole
+index range, and lands every point in exactly the partition the
+in-memory ``split_*`` functions would have chosen.
+
+:func:`draw_partition_seeds` is the one shared way the MapReduce drivers
+draw their per-partition coreset seeds, so the deterministic-for-any-
+backend guarantee cannot drift between solvers.
 """
 
 from __future__ import annotations
@@ -35,7 +48,53 @@ __all__ = [
     "split_random",
     "split_adversarial",
     "validate_partition",
+    "hashed_assignment",
+    "draw_partition_seeds",
+    "ChunkRouter",
 ]
+
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser (a high-quality 64-bit mixer)."""
+    with np.errstate(over="ignore"):
+        x = (values + np.uint64(0x9E3779B97F4A7C15)) & _MASK64
+        x = ((x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _MASK64
+        x = ((x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & _MASK64
+        return x ^ (x >> np.uint64(31))
+
+
+def hashed_assignment(indices: np.ndarray, ell: int, seed: int) -> np.ndarray:
+    """Partition id for each global point index under the seeded random split.
+
+    A counter-based construction: the partition of point ``i`` is
+    ``splitmix64(splitmix64(seed) ^ i) mod ell``, a pure function of
+    ``(i, seed, ell)``. Unlike drawing ``n`` sequential variates, the
+    assignment of any index range can be recomputed independently —
+    the property the out-of-core shuffle needs to route chunks without
+    ever holding the full assignment vector.
+    """
+    ell = check_positive_int(ell, name="ell")
+    indices = np.asarray(indices, dtype=np.uint64)
+    mixed_seed = _splitmix64(np.uint64(seed) & _MASK64)
+    hashed = _splitmix64(indices ^ mixed_seed)
+    return (hashed % np.uint64(ell)).astype(np.intp)
+
+
+def draw_partition_seeds(rng: np.random.Generator, n_partitions: int) -> tuple[int, ...]:
+    """Draw one coreset seed per partition, in partition order.
+
+    Both MapReduce drivers draw their round-1 seeds through this helper
+    (one ``integers(2**31 - 1)`` variate per partition, partition 0
+    first), which is what makes the documented guarantee — "the result
+    is deterministic for any ``max_workers``/backend because
+    per-partition seeds are drawn up front" — a single point of truth
+    instead of two copies that can drift.
+    """
+    n_partitions = check_positive_int(n_partitions, name="n_partitions")
+    return tuple(int(rng.integers(2**31 - 1)) for _ in range(n_partitions))
 
 
 def split_contiguous(n: int, ell: int) -> list[np.ndarray]:
@@ -63,13 +122,19 @@ def split_random(n: int, ell: int, *, random_state=None) -> list[np.ndarray]:
     This is the partitioning of the randomized outlier algorithm
     (Section 3.2.1); unlike :func:`split_contiguous` the parts are only
     equal in expectation, and parts can occasionally be empty for tiny
-    inputs — callers that need non-empty parts should fall back to
-    :func:`split_round_robin` in that case (the MapReduce drivers do).
+    inputs — the MapReduce drivers simply skip empty parts (dropping a
+    partition only lowers the effective parallelism, never correctness).
+
+    The per-point draw is the counter-based :func:`hashed_assignment`
+    keyed by a single variate from ``random_state``, so the streamed
+    shuffle reproduces this split exactly, chunk by chunk, from the same
+    ``random_state``.
     """
     n = check_positive_int(n, name="n")
     ell = check_positive_int(ell, name="ell")
     rng = check_random_state(random_state)
-    assignment = rng.integers(0, ell, size=n)
+    seed = int(rng.integers(2**63 - 1))
+    assignment = hashed_assignment(np.arange(n), ell, seed)
     return [np.flatnonzero(assignment == i).astype(np.intp) for i in range(ell)]
 
 
@@ -120,6 +185,99 @@ def split_adversarial(
         smallest = min(range(ell), key=lambda i: len(parts[i]))
         parts[smallest].append(int(index))
     return [np.array(sorted(part), dtype=np.intp) for part in parts]
+
+
+class ChunkRouter:
+    """Route consecutive stream chunks into ``ell`` partitions.
+
+    The router computes, for each incoming chunk of ``m`` points, the
+    partition id of every row — matching bit for bit the partition that
+    the corresponding in-memory ``split_*`` function assigns to the same
+    global index. It never materialises more than one chunk's worth of
+    assignment metadata, which is what keeps the coordinator's working
+    set at ``O(chunk)`` during the out-of-core shuffle.
+
+    Parameters
+    ----------
+    ell:
+        Number of partitions.
+    partitioning:
+        ``"contiguous"``, ``"round_robin"`` or ``"random"``.
+        ``"contiguous"`` additionally needs ``n_total`` (the equal-size
+        block boundaries depend on the stream length); ``"adversarial"``
+        is inherently offline and not supported here.
+    n_total:
+        Stream length, when known (e.g. from ``len(stream)``).
+    seed:
+        Hash seed for the ``"random"`` strategy; drawn by the caller from
+        the run's RNG exactly like :func:`split_random` draws it, so both
+        paths consume the generator identically.
+    """
+
+    def __init__(
+        self,
+        ell: int,
+        partitioning: str = "contiguous",
+        *,
+        n_total: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.ell = check_positive_int(ell, name="ell")
+        if partitioning not in ("contiguous", "round_robin", "random"):
+            raise InvalidParameterError(
+                "streamed shuffling supports 'contiguous', 'round_robin' and "
+                f"'random' partitioning; got {partitioning!r}"
+            )
+        if partitioning == "contiguous":
+            if n_total is None:
+                raise InvalidParameterError(
+                    "contiguous partitioning needs the stream length up front; "
+                    "use 'round_robin' or 'random' for unknown-length streams"
+                )
+            n_total = check_positive_int(n_total, name="n_total")
+            if self.ell > n_total:
+                raise InvalidParameterError(
+                    f"cannot split {n_total} points into {self.ell} non-empty parts"
+                )
+            # np.array_split boundaries: the first n % ell blocks get one
+            # extra point, exactly like split_contiguous.
+            base, extra = divmod(n_total, self.ell)
+            sizes = np.full(self.ell, base, dtype=np.intp)
+            sizes[:extra] += 1
+            self._boundaries = np.cumsum(sizes)
+        else:
+            self._boundaries = None
+        if partitioning == "random" and seed is None:
+            raise InvalidParameterError("random partitioning needs a hash seed")
+        self.partitioning = partitioning
+        self.n_total = n_total
+        self._seed = seed
+        self._offset = 0
+
+    @property
+    def points_routed(self) -> int:
+        """Number of stream points routed so far."""
+        return self._offset
+
+    def route(self, chunk_length: int) -> np.ndarray:
+        """Partition id of each row of the next ``chunk_length``-row chunk.
+
+        Chunks must be routed in stream order; the router advances its
+        global offset by ``chunk_length``.
+        """
+        if chunk_length < 1:
+            raise InvalidParameterError("chunk_length must be >= 1")
+        indices = self._offset + np.arange(chunk_length, dtype=np.intp)
+        self._offset += chunk_length
+        if self.n_total is not None and self._offset > self.n_total:
+            raise InvalidParameterError(
+                f"stream delivered more than the declared {self.n_total} points"
+            )
+        if self.partitioning == "round_robin":
+            return indices % self.ell
+        if self.partitioning == "random":
+            return hashed_assignment(indices, self.ell, self._seed)
+        return np.searchsorted(self._boundaries, indices, side="right").astype(np.intp)
 
 
 def validate_partition(parts: Sequence[np.ndarray], n: int) -> None:

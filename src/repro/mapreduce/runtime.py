@@ -40,6 +40,38 @@ bytecode (GMM's incremental loop, radius search probes) or when true CPU
 isolation is wanted — provided the per-task payload is kept small, e.g.
 index arrays over a shared point matrix.
 
+Out-of-core shuffle
+-------------------
+The paper's analysis bounds the *reducers'* memory at ``O(n / ell)``
+per partition — but a map/shuffle that first materialises the full
+``(n, d)`` matrix in the coordinator silently re-introduces an ``O(n)``
+coordinator bound, making the coordinator (not the reducers) the limit
+on dataset size. :meth:`MapReduceRuntime.shuffle_stream` removes that
+bound: it consumes the input as a sequence of ``(m, d)`` chunks (from a
+:class:`~repro.streaming.stream.PointStream`, a generator over a file,
+or a memory-mapped array), routes each chunk's rows directly into
+per-partition :class:`~repro.mapreduce.backends.PartitionBuffer`
+storage via a :class:`~repro.mapreduce.partitioner.ChunkRouter`, and
+returns the sealed partitions as
+:class:`~repro.mapreduce.backends.SharedArray` handles. Under the
+``processes`` backend the buffers are POSIX shared-memory segments that
+reducers attach to by name; under ``serial``/``threads`` they are plain
+per-partition arrays in the shared address space. Either way the
+coordinator's own working set during the shuffle is ``O(chunk)``:
+routing metadata plus one chunk in flight.
+
+Because the routers are pure functions of the global point index (the
+random split uses a seeded counter-based hash, see
+:func:`~repro.mapreduce.partitioner.hashed_assignment`), a streamed
+shuffle lands every point in exactly the partition the in-memory
+``split_*`` functions produce — so the drivers' ``fit_stream`` is
+bit-identical to ``fit`` on every backend while restoring the paper's
+memory model: reducers hold ``O(n/ell)``, the coordinator holds
+``O(chunk + union coreset)``. The job-level
+:attr:`JobStats.coordinator_peak_items` records that coordinator
+working set (in points) so the space metric of the Figure 7 experiments
+is reported for both drive paths.
+
 Accounting is backend-agnostic by construction: every backend returns the
 same per-group outputs and in-reducer timings, the runtime collects them
 in deterministic (insertion) key order, and the recorded
@@ -62,9 +94,21 @@ from typing import Callable, Hashable, Iterable, Sequence
 import numpy as np
 
 from ..exceptions import InvalidParameterError, MemoryBudgetExceededError
-from .backends import ExecutorBackend, SharedArray, resolve_backend
+from ..streaming.stream import GeneratorStream, PointStream
+from .backends import ExecutorBackend, PartitionBuffer, SharedArray, resolve_backend
+from .partitioner import ChunkRouter
 
-__all__ = ["KeyValue", "RoundStats", "JobStats", "MapReduceRuntime", "default_sizeof"]
+__all__ = [
+    "KeyValue",
+    "RoundStats",
+    "JobStats",
+    "StreamShuffleResult",
+    "StreamedPartition",
+    "MapReduceRuntime",
+    "default_sizeof",
+    "identity_mapper",
+    "shuffle_point_stream",
+]
 
 
 KeyValue = tuple[Hashable, object]
@@ -139,6 +183,12 @@ class JobStats:
     """Aggregated accounting over all rounds executed by a runtime."""
 
     rounds: list[RoundStats] = field(default_factory=list)
+    #: Largest working set (in points) the *coordinator* itself held at
+    #: any moment: the full input for the in-memory path, one routing
+    #: chunk plus the inter-round coreset union for the streamed path.
+    #: This is the quantity the out-of-core shuffle bounds at
+    #: ``O(chunk + coreset)``.
+    coordinator_peak_items: int = 0
 
     @property
     def n_rounds(self) -> int:
@@ -156,6 +206,16 @@ class JobStats:
         return max((r.total_memory for r in self.rounds), default=0)
 
     @property
+    def peak_working_memory_size(self) -> int:
+        """The paper's space metric for the whole job, in stored points.
+
+        The largest working set any single participant (a reducer *or*
+        the coordinator) held — the MapReduce counterpart of the
+        streaming algorithms' ``peak_working_memory_size``.
+        """
+        return max(self.peak_local_memory, self.coordinator_peak_items)
+
+    @property
     def parallel_time(self) -> float:
         """Parallel time estimate: per round, map time plus slowest reducer."""
         return sum(r.map_time + r.parallel_time for r in self.rounds)
@@ -164,6 +224,56 @@ class JobStats:
     def sequential_time(self) -> float:
         """Time the job would take with a single processor."""
         return sum(r.map_time + r.sequential_time for r in self.rounds)
+
+
+@dataclass(frozen=True)
+class StreamedPartition:
+    """One shuffled partition: its point matrix plus the global-index column.
+
+    ``__len__`` reports the number of *points*, so the runtime's memory
+    accounting charges a streamed round-1 reducer exactly what the
+    in-memory path charges it (the index column is metadata). Picklable
+    on every backend (the members are :class:`SharedArray` handles).
+    """
+
+    points: SharedArray
+    indices: SharedArray
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def identity_mapper(key, value):
+    """Pass pre-keyed pairs straight into the shuffle (streamed rounds)."""
+    yield (key, value)
+
+
+@dataclass(frozen=True)
+class StreamShuffleResult:
+    """Outcome of an out-of-core map/shuffle pass.
+
+    Attributes
+    ----------
+    parts:
+        One sealed ``(n_i, d)`` :class:`SharedArray` per partition
+        (possibly zero-row for partitions the routing left empty).
+    index_parts:
+        Matching ``(n_i,)`` arrays of global stream indices, so reducers
+        can report solutions in terms of the original data. ``None`` when
+        the shuffle was run with ``with_indices=False``.
+    n_points:
+        Total number of stream points routed.
+    dimension:
+        Point dimensionality observed on the stream.
+    chunk_peak:
+        Largest single chunk (in points) the coordinator held in flight.
+    """
+
+    parts: list
+    index_parts: list | None
+    n_points: int
+    dimension: int
+    chunk_peak: int
 
 
 class MapReduceRuntime:
@@ -240,11 +350,151 @@ class MapReduceRuntime:
         """Publish a large array for cheap access from reducers on any backend.
 
         Arrays shared through the runtime are released by :meth:`close`
-        even when the backend itself is caller-owned.
+        even when the backend itself is caller-owned. The array is
+        charged to the coordinator's working set (it was materialised
+        here to be published); the streamed shuffle avoids exactly this
+        charge.
         """
         shared = self._backend.share_array(array)
         self._shared_arrays.append(shared)
+        self.note_coordinator_items(len(shared))
         return shared
+
+    def note_coordinator_items(self, items: int) -> None:
+        """Record that the coordinator held ``items`` points at one moment."""
+        self._stats.coordinator_peak_items = max(
+            self._stats.coordinator_peak_items, int(items)
+        )
+
+    def shuffle_stream(
+        self,
+        chunks: Iterable[np.ndarray],
+        router: ChunkRouter,
+        *,
+        with_indices: bool = True,
+        dtype=np.float64,
+        partition_size_hint: int | None = None,
+        max_chunk_rows: int | None = None,
+    ) -> StreamShuffleResult:
+        """Route a chunked point stream into per-partition buffers (out of core).
+
+        ``chunks`` yields ``(m, d)`` arrays in stream order (e.g. from
+        :meth:`repro.streaming.stream.PointStream.iterate_batches`);
+        ``router`` decides each row's partition from its global stream
+        index alone. Rows are scattered into per-partition
+        :class:`~repro.mapreduce.backends.PartitionBuffer` storage —
+        shared-memory segments under a backend with
+        ``uses_shared_memory`` (the process pool), plain per-partition
+        arrays otherwise — so the coordinator never assembles the full
+        ``(n, d)`` matrix; its working set is one chunk plus routing
+        metadata, recorded in :attr:`JobStats.coordinator_peak_items`.
+
+        The sealed partitions are registered with the runtime and
+        released by :meth:`close`. ``max_chunk_rows`` re-splits oversized
+        incoming chunks (sources with native batching, such as
+        :class:`~repro.streaming.stream.GeneratorStream`, may deliver
+        chunks larger than the requested size) so the coordinator's
+        in-flight working set — and the recorded ``chunk_peak`` — stays
+        bounded regardless of the source's granularity.
+        """
+        if max_chunk_rows is not None and max_chunk_rows < 1:
+            raise InvalidParameterError("max_chunk_rows must be >= 1 (or None)")
+        shared = bool(getattr(self._backend, "uses_shared_memory", False))
+        hint = partition_size_hint
+        if hint is None and router.n_total is not None:
+            hint = max(1, -(-router.n_total // router.ell))  # ceil division
+        buffers: list[PartitionBuffer] | None = None
+        index_buffers: list[PartitionBuffer] | None = None
+        dimension: int | None = None
+        chunk_peak = 0
+
+        def bounded_chunks():
+            for chunk in chunks:
+                chunk = np.asarray(chunk, dtype=dtype)
+                if chunk.ndim != 2:
+                    raise InvalidParameterError(
+                        f"shuffle chunks must be (m, d) arrays; got ndim={chunk.ndim}"
+                    )
+                if max_chunk_rows is None or chunk.shape[0] <= max_chunk_rows:
+                    yield chunk
+                else:
+                    for start in range(0, chunk.shape[0], max_chunk_rows):
+                        yield chunk[start : start + max_chunk_rows]
+
+        try:
+            for chunk in bounded_chunks():
+                m = chunk.shape[0]
+                if m == 0:
+                    continue
+                if buffers is None:
+                    dimension = int(chunk.shape[1])
+                    capacity = hint or max(1, m)
+                    buffers = [
+                        PartitionBuffer(
+                            dimension, dtype=dtype, shared=shared, initial_capacity=capacity
+                        )
+                        for _ in range(router.ell)
+                    ]
+                    if with_indices:
+                        index_buffers = [
+                            PartitionBuffer(
+                                None, dtype=np.intp, shared=shared, initial_capacity=capacity
+                            )
+                            for _ in range(router.ell)
+                        ]
+                elif chunk.shape[1] != dimension:
+                    raise InvalidParameterError(
+                        f"chunk has dimension {chunk.shape[1]}, expected {dimension}"
+                    )
+                chunk_peak = max(chunk_peak, m)
+                global_indices = router.points_routed + np.arange(m, dtype=np.intp)
+                assignment = router.route(m)
+                # Stable sort keeps stream order inside each partition, matching
+                # the increasing-index order of the in-memory split_* functions.
+                order = np.argsort(assignment, kind="stable")
+                counts = np.bincount(assignment, minlength=router.ell)
+                sorted_rows = chunk[order]
+                sorted_indices = global_indices[order]
+                start = 0
+                for partition_id, count in enumerate(counts):
+                    stop = start + int(count)
+                    if stop > start:
+                        buffers[partition_id].append(sorted_rows[start:stop])
+                        if index_buffers is not None:
+                            index_buffers[partition_id].append(sorted_indices[start:stop])
+                    start = stop
+
+            if buffers is None:
+                raise InvalidParameterError("the stream delivered no points to shuffle")
+            if router.n_total is not None and router.points_routed != router.n_total:
+                raise InvalidParameterError(
+                    f"the stream delivered {router.points_routed} points but "
+                    f"declared {router.n_total}"
+                )
+        except BaseException:
+            # A failure (or interrupt) mid-shuffle must not strand the
+            # partially-filled shared-memory segments until process exit.
+            for buffer in (buffers or []) + (index_buffers or []):
+                buffer.close()
+            raise
+
+        parts = [buffer.finalize() for buffer in buffers]
+        index_parts = (
+            None
+            if index_buffers is None
+            else [buffer.finalize() for buffer in index_buffers]
+        )
+        self._shared_arrays.extend(parts)
+        if index_parts is not None:
+            self._shared_arrays.extend(index_parts)
+        self.note_coordinator_items(chunk_peak)
+        return StreamShuffleResult(
+            parts=parts,
+            index_parts=index_parts,
+            n_points=router.points_routed,
+            dimension=dimension,
+            chunk_peak=chunk_peak,
+        )
 
     def close(self) -> None:
         """Release resources this runtime owns. Idempotent.
@@ -343,3 +593,55 @@ class MapReduceRuntime:
         for mapper, reducer in rounds:
             current = self.execute_round(current, mapper, reducer)
         return current
+
+
+def shuffle_point_stream(
+    runtime: MapReduceRuntime,
+    stream,
+    *,
+    ell: int,
+    partitioning: str,
+    rng: np.random.Generator,
+    chunk_size: int,
+) -> tuple[list[StreamedPartition], int, int]:
+    """The drivers' shared out-of-core shuffle prologue.
+
+    Wraps ``stream`` (a :class:`~repro.streaming.stream.PointStream` or
+    any iterable of points/batches), probes its length, caps ``ell`` at
+    the length when it is known, builds the matching
+    :class:`~repro.mapreduce.partitioner.ChunkRouter` — consuming ``rng``
+    exactly like the in-memory ``split_*`` path (one variate for the
+    random hash seed, nothing for the deterministic strategies) — and
+    runs :meth:`MapReduceRuntime.shuffle_stream` with oversized native
+    batches re-split to ``chunk_size``.
+
+    Returns ``(partitions, n_points, ell_used)``. Both MapReduce drivers
+    route through this single helper so the bit-identical-to-``fit``
+    guarantee cannot drift between them. Note the one caveat it cannot
+    remove: for unknown-length streams ``ell`` is used as given (the
+    in-memory path caps it at ``n``), so exact ``fit`` equivalence on
+    tiny inputs additionally needs ``ell <= n`` or a sized stream.
+    """
+    if chunk_size < 1:
+        raise InvalidParameterError("chunk_size must be >= 1")
+    if not isinstance(stream, PointStream):
+        stream = GeneratorStream(stream)
+    try:
+        n_hint = len(stream)
+    except TypeError:
+        n_hint = None
+    ell_used = ell if n_hint is None else min(ell, n_hint)
+    if partitioning == "random":
+        router = ChunkRouter(
+            ell_used, "random", n_total=n_hint, seed=int(rng.integers(2**63 - 1))
+        )
+    else:
+        router = ChunkRouter(ell_used, partitioning, n_total=n_hint)
+    shuffled = runtime.shuffle_stream(
+        stream.iterate_batches(chunk_size), router, max_chunk_rows=chunk_size
+    )
+    parts = [
+        StreamedPartition(points, indices)
+        for points, indices in zip(shuffled.parts, shuffled.index_parts)
+    ]
+    return parts, shuffled.n_points, ell_used

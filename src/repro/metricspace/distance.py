@@ -145,6 +145,34 @@ class Metric:
         point = np.asarray(point, dtype=np.float64).reshape(1, -1)
         return self.cross(point, points)[0]
 
+    def point_to_points_blocked(
+        self,
+        point: np.ndarray,
+        points: np.ndarray,
+        *,
+        max_block_elements: int = DEFAULT_BLOCK_ELEMENTS,
+    ) -> np.ndarray:
+        """Distances from ``point`` to every row of ``points``, in column blocks.
+
+        Same values as :meth:`point_to_points`, but ``points`` is
+        consumed in row blocks so the ``(1, m, d)`` broadcast temporaries
+        of the L1/L-inf metrics never exceed ``max_block_elements``
+        float64 values. This is the bounded-memory one-vs-many kernel the
+        incremental GMM traversal runs per extension step; below the cap
+        it degenerates to a single :meth:`point_to_points` call.
+        """
+        point = np.asarray(point, dtype=np.float64).reshape(1, -1)
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        m = points.shape[0]
+        block = _rows_per_block(1, points.shape[1], max_block_elements)
+        if m <= block:
+            return self.cross(point, points)[0]
+        out = np.empty(m, dtype=np.float64)
+        for start in range(0, m, block):
+            stop = min(start + block, m)
+            out[start:stop] = self.cross(point, points[start:stop])[0]
+        return out
+
     def pairwise(self, points: np.ndarray) -> np.ndarray:
         """Full symmetric pairwise distance matrix of ``points``."""
         matrix = self.cross(points, points)

@@ -7,10 +7,15 @@ source supports. Two sources are provided:
 * :class:`ArrayStream` — wraps an in-memory ``(n, d)`` array (optionally
   shuffled once up front, as the paper does before streaming); supports an
   arbitrary number of passes, so it can also drive the 2-pass
-  dimension-oblivious algorithm.
+  dimension-oblivious algorithm. A ``float64`` :class:`numpy.memmap` is
+  accepted zero-copy (when ``shuffle=False``), so disk-backed matrices
+  larger than RAM can be streamed chunk by chunk.
 * :class:`GeneratorStream` — wraps a single-use iterable of points or
-  batches (e.g. :func:`repro.datasets.inflate_streaming`); strictly
-  one pass.
+  batches (e.g. :func:`repro.datasets.inflate_streaming` or
+  :func:`repro.datasets.stream_paper_dataset`); strictly one pass. An
+  optional ``length_hint`` declares the stream length up front, which
+  the MapReduce drivers' out-of-core shuffle needs for contiguous
+  partitioning (and uses to cap ``ell``).
 
 Besides the classic point-at-a-time :meth:`PointStream.iterate_pass`,
 every stream can deliver the same pass in configurable-size chunks via
@@ -168,11 +173,30 @@ class GeneratorStream(PointStream):
     single points are grouped into chunks of the requested size. Either
     way, generators such as :func:`repro.datasets.inflate_streaming` can
     feed the streaming algorithms without materialising the data.
+
+    Parameters
+    ----------
+    source:
+        The iterable of points or batches.
+    length_hint:
+        Optional total number of points the source will deliver. When
+        given, ``len(stream)`` reports it (consumers that need the
+        length up front — e.g. contiguous partitioning in the MapReduce
+        out-of-core shuffle — can then use a single-pass source); the
+        shuffle verifies the actual delivery against it.
     """
 
-    def __init__(self, source: Iterable) -> None:
+    def __init__(self, source: Iterable, *, length_hint: int | None = None) -> None:
         super().__init__(max_passes=1)
         self._source = source
+        if length_hint is not None and length_hint < 1:
+            raise StreamingProtocolError("length_hint must be >= 1 (or None)")
+        self._length_hint = length_hint
+
+    def __len__(self) -> int:
+        if self._length_hint is None:
+            raise TypeError("this GeneratorStream has no length_hint")
+        return int(self._length_hint)
 
     @staticmethod
     def _as_array(item) -> np.ndarray:

@@ -80,6 +80,52 @@ class TestGMMClass:
         np.testing.assert_allclose(distances_via_assignment, distances_expected, atol=1e-9)
 
 
+class TestReadOnlyViews:
+    """The state accessors return aliasing views, not per-access copies.
+
+    Regression tests for the O(n)/O(tau)-copy-per-access bug: callers
+    polling ``assignment``/``distances_to_centers``/``centers``/
+    ``radius_history`` once per extension step used to pay quadratic
+    copying over a traversal.
+    """
+
+    def test_accessors_alias_instead_of_copying(self, small_blobs):
+        traversal = GMM(small_blobs)
+        traversal.extend_to(5)
+        for name in ("assignment", "distances_to_centers", "centers", "radius_history"):
+            first = getattr(traversal, name)
+            second = getattr(traversal, name)
+            assert np.shares_memory(first, second), f"{name} copies on access"
+
+    def test_views_reject_writes(self, small_blobs):
+        traversal = GMM(small_blobs)
+        traversal.extend_to(5)
+        for name in ("assignment", "distances_to_centers", "centers", "radius_history"):
+            view = getattr(traversal, name)
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0] = -1
+
+    def test_in_place_extension_keeps_aliases_live(self, small_blobs):
+        traversal = GMM(small_blobs)
+        assignment = traversal.assignment
+        distances = traversal.distances_to_centers
+        traversal.extend_to(4)
+        # The handles observe the in-place updates of later extensions.
+        np.testing.assert_array_equal(assignment, traversal.assignment)
+        np.testing.assert_array_equal(distances, traversal.distances_to_centers)
+        assert assignment.max() == 3
+
+    def test_result_snapshot_is_stable(self, small_blobs):
+        traversal = GMM(small_blobs)
+        traversal.extend_to(3)
+        snapshot = traversal.result()
+        before = snapshot.assignment.copy()
+        traversal.extend_to(10)
+        np.testing.assert_array_equal(snapshot.assignment, before)
+        assert snapshot.n_centers == 3
+
+
 class TestGMMSelect:
     def test_returns_k_centers(self, small_blobs):
         result = gmm_select(small_blobs, 7)

@@ -128,13 +128,17 @@ class TestRandomizedVariant:
         assert with_log._z_prime(5000, 8) > without._z_prime(5000, 8)
 
     def test_smaller_coresets_than_deterministic(self, blobs_with_outliers):
+        # mu = 1 keeps both targets below the ~27-point partition size on
+        # this 215-point instance, so the comparison measures the z vs z'
+        # base sizes (the property under test) rather than which random
+        # split happens to cap more partitions at their full size.
         data = blobs_with_outliers.points
         z = blobs_with_outliers.n_outliers
         deterministic = MapReduceKCenterOutliers(
-            5, z, ell=8, coreset_multiplier=2, random_state=0
+            5, z, ell=8, coreset_multiplier=1, random_state=0
         ).fit(data)
         randomized = MapReduceKCenterOutliers(
-            5, z, ell=8, coreset_multiplier=2, randomized=True,
+            5, z, ell=8, coreset_multiplier=1, randomized=True,
             include_log_term=False, random_state=0,
         ).fit(data)
         assert randomized.coreset_size < deterministic.coreset_size

@@ -30,6 +30,23 @@ class TestPlanMapReduce:
         assert randomized.variant == "outliers-randomized"
         assert randomized.coreset_size_practical < deterministic.coreset_size_practical
 
+    def test_streamed_plan_bounds_coordinator(self):
+        in_memory = plan_mapreduce(1_000_000, 20, z=200, doubling_dimension=2)
+        streamed = plan_mapreduce(
+            1_000_000, 20, z=200, doubling_dimension=2, streamed=True, chunk_size=8192
+        )
+        assert not in_memory.streamed
+        assert in_memory.coordinator_memory == 1_000_000
+        assert streamed.streamed
+        assert streamed.coordinator_memory == 8192 + streamed.union_coreset_size
+        assert streamed.coordinator_memory < in_memory.coordinator_memory
+        # Reducer-side predictions are drive-path independent.
+        assert streamed.local_memory == in_memory.local_memory
+
+    def test_streamed_plan_rejects_bad_chunk_size(self):
+        with pytest.raises(Exception):
+            plan_mapreduce(1000, 10, streamed=True, chunk_size=0)
+
     def test_theoretical_size_grows_with_dimension(self):
         low = plan_mapreduce(100_000, 10, doubling_dimension=1)
         high = plan_mapreduce(100_000, 10, doubling_dimension=4)

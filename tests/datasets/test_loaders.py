@@ -10,8 +10,37 @@ from repro.datasets import (
     higgs_like,
     load_paper_dataset,
     power_like,
+    stream_paper_dataset,
     wiki_like,
 )
+
+
+class TestStreamPaperDataset:
+    def test_chunks_total_n_points(self):
+        chunks = list(stream_paper_dataset("power", 1000, chunk_size=128, random_state=0))
+        assert sum(chunk.shape[0] for chunk in chunks) == 1000
+        assert all(chunk.shape[0] <= 128 for chunk in chunks)
+        assert all(chunk.shape[1] == 7 for chunk in chunks)
+
+    def test_deterministic_for_seed(self):
+        a = np.vstack(list(stream_paper_dataset("higgs", 500, chunk_size=64, random_state=3)))
+        b = np.vstack(list(stream_paper_dataset("higgs", 500, chunk_size=64, random_state=3)))
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            list(stream_paper_dataset("netflix", 100))
+
+    def test_feeds_fit_stream(self):
+        from repro.core import MapReduceKCenter
+        from repro.streaming import GeneratorStream
+
+        chunks = stream_paper_dataset("power", 800, chunk_size=100, random_state=1)
+        result = MapReduceKCenter(5, ell=4, coreset_multiplier=2, random_state=0).fit_stream(
+            GeneratorStream(chunks, length_hint=800), chunk_size=100
+        )
+        assert result.k == 5
+        assert result.stats.coordinator_peak_items <= max(100, result.coreset_size)
 
 
 class TestLoaders:

@@ -1,0 +1,94 @@
+"""Unified empty-partition behavior of the two MapReduce drivers.
+
+Decision under test (see the ``_partition`` docstrings): when a split
+leaves a partition empty — possible under random partitioning on tiny
+inputs, or in principle under any custom split — both drivers *drop* the
+empty part (the round-1 mappers skip it). Dropping only lowers the
+effective parallelism; re-drawing would silently change the random
+partitioning the randomized algorithm's analysis (Lemma 7) relies on,
+and raising would make small seeded runs flaky.
+
+Before this suite existed the two solvers demonstrably diverged:
+``MapReduceKCenter``'s mapper forwarded empty index arrays (crashing in
+``build_coreset``) while ``MapReduceKCenterOutliers`` silently skipped
+them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.mr_kcenter as mr_kcenter_module
+import repro.core.mr_outliers as mr_outliers_module
+from repro.core import MapReduceKCenter, MapReduceKCenterOutliers
+from repro.exceptions import InvalidParameterError
+
+
+def _split_with_empty_part(n, ell, *, random_state=None):
+    """A partition of range(n) whose last part is empty (stress stand-in)."""
+    parts = [np.array(p, dtype=np.intp) for p in np.array_split(np.arange(n), ell - 1)]
+    parts.append(np.empty(0, dtype=np.intp))
+    return parts
+
+
+class TestEmptyPartitionsDropped:
+    def test_kcenter_drops_empty_partition(self, medium_blobs, monkeypatch):
+        monkeypatch.setattr(mr_kcenter_module, "split_random", _split_with_empty_part)
+        result = MapReduceKCenter(
+            5, ell=4, coreset_multiplier=2, partitioning="random", random_state=0
+        ).fit(medium_blobs)
+        assert result.k == 5
+        assert result.radius > 0
+        # Only the three non-empty parts became reducers.
+        assert result.ell == 3
+        assert result.stats.rounds[0].n_reducers == 3
+
+    def test_outliers_drops_empty_partition(self, blobs_with_outliers, monkeypatch):
+        monkeypatch.setattr(mr_outliers_module, "split_random", _split_with_empty_part)
+        data = blobs_with_outliers.points
+        z = blobs_with_outliers.n_outliers
+        result = MapReduceKCenterOutliers(
+            5, z, ell=4, coreset_multiplier=2, partitioning="random", random_state=0
+        ).fit(data)
+        assert result.k <= 5
+        assert result.ell == 3
+        assert result.stats.rounds[0].n_reducers == 3
+
+    def test_both_solvers_report_same_reducer_count(self, blobs_with_outliers, monkeypatch):
+        monkeypatch.setattr(mr_kcenter_module, "split_random", _split_with_empty_part)
+        monkeypatch.setattr(mr_outliers_module, "split_random", _split_with_empty_part)
+        data = blobs_with_outliers.points
+        kcenter = MapReduceKCenter(
+            5, ell=6, coreset_multiplier=2, partitioning="random", random_state=1
+        ).fit(data)
+        outliers = MapReduceKCenterOutliers(
+            5, blobs_with_outliers.n_outliers, ell=6, coreset_multiplier=2,
+            partitioning="random", random_state=1,
+        ).fit(data)
+        assert kcenter.ell == outliers.ell == 5
+        assert (
+            kcenter.stats.rounds[0].n_reducers
+            == outliers.stats.rounds[0].n_reducers
+            == 5
+        )
+
+
+class TestEllLargerThanN:
+    def test_kcenter_caps_ell_at_n(self):
+        points = np.arange(6, dtype=float).reshape(-1, 1)
+        result = MapReduceKCenter(2, ell=50, coreset_multiplier=1, random_state=0).fit(points)
+        assert result.ell <= 6
+
+    def test_outliers_caps_ell_at_n(self):
+        points = np.arange(8, dtype=float).reshape(-1, 1)
+        result = MapReduceKCenterOutliers(
+            2, 1, ell=50, coreset_multiplier=1, random_state=0
+        ).fit(points)
+        assert result.ell <= 8
+
+    def test_contiguous_split_still_rejects_ell_above_n(self):
+        from repro.mapreduce import split_contiguous
+
+        with pytest.raises(InvalidParameterError):
+            split_contiguous(3, 5)

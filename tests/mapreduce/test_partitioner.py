@@ -7,6 +7,9 @@ import pytest
 
 from repro.exceptions import InvalidParameterError
 from repro.mapreduce import (
+    ChunkRouter,
+    draw_partition_seeds,
+    hashed_assignment,
     split_adversarial,
     split_contiguous,
     split_random,
@@ -86,6 +89,90 @@ class TestSplitAdversarial:
     def test_with_shuffle(self):
         parts = split_adversarial(40, 4, [0, 1], random_state=3)
         validate_partition(parts, 40)
+
+
+class TestHashedAssignment:
+    def test_chunking_independent(self):
+        seed = 987654321
+        full = hashed_assignment(np.arange(500), 6, seed)
+        chunked = np.concatenate(
+            [hashed_assignment(np.arange(lo, hi), 6, seed)
+             for lo, hi in ((0, 123), (123, 200), (200, 500))]
+        )
+        np.testing.assert_array_equal(full, chunked)
+
+    def test_roughly_uniform(self):
+        assignment = hashed_assignment(np.arange(60_000), 5, 42)
+        counts = np.bincount(assignment, minlength=5)
+        assert counts.min() > 10_000  # expected 12000 each
+
+    def test_different_seeds_differ(self):
+        a = hashed_assignment(np.arange(100), 4, 1)
+        b = hashed_assignment(np.arange(100), 4, 2)
+        assert not np.array_equal(a, b)
+
+
+class TestDrawPartitionSeeds:
+    def test_pinned_seed_stream(self):
+        # Pins the exact variates so the two MapReduce drivers (which both
+        # draw through this helper) can never drift apart again.
+        seeds = draw_partition_seeds(np.random.default_rng(123), 5)
+        assert seeds == (33158374, 1465339467, 1273345680, 115579757, 1952249162)
+
+    def test_one_variate_per_partition(self):
+        rng_a = np.random.default_rng(9)
+        rng_b = np.random.default_rng(9)
+        seeds = draw_partition_seeds(rng_a, 3)
+        expected = tuple(int(rng_b.integers(2**31 - 1)) for _ in range(3))
+        assert seeds == expected
+
+    def test_invalid_count(self):
+        with pytest.raises(InvalidParameterError):
+            draw_partition_seeds(np.random.default_rng(0), 0)
+
+
+class TestChunkRouter:
+    @pytest.mark.parametrize("chunking", [(500,), (1, 499), (100, 250, 150), (7,) * 71 + (3,)])
+    def test_matches_contiguous_split(self, chunking):
+        parts = split_contiguous(500, 7)
+        router = ChunkRouter(7, "contiguous", n_total=500)
+        assignment = np.concatenate([router.route(m) for m in chunking])
+        for i, part in enumerate(parts):
+            np.testing.assert_array_equal(part, np.flatnonzero(assignment == i))
+
+    def test_matches_round_robin_split(self):
+        parts = split_round_robin(101, 4)
+        router = ChunkRouter(4, "round_robin")
+        assignment = np.concatenate([router.route(m) for m in (32, 32, 32, 5)])
+        for i, part in enumerate(parts):
+            np.testing.assert_array_equal(part, np.flatnonzero(assignment == i))
+
+    def test_matches_random_split_from_same_rng(self):
+        rng_a = np.random.default_rng(55)
+        parts = split_random(300, 5, random_state=rng_a)
+        rng_b = np.random.default_rng(55)
+        router = ChunkRouter(5, "random", seed=int(rng_b.integers(2**63 - 1)))
+        assignment = np.concatenate([router.route(m) for m in (64, 64, 64, 64, 44)])
+        for i, part in enumerate(parts):
+            np.testing.assert_array_equal(part, np.flatnonzero(assignment == i))
+
+    def test_contiguous_requires_length(self):
+        with pytest.raises(InvalidParameterError, match="length"):
+            ChunkRouter(4, "contiguous")
+
+    def test_random_requires_seed(self):
+        with pytest.raises(InvalidParameterError, match="seed"):
+            ChunkRouter(4, "random")
+
+    def test_adversarial_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ChunkRouter(4, "adversarial")
+
+    def test_overdelivery_rejected(self):
+        router = ChunkRouter(2, "contiguous", n_total=10)
+        router.route(10)
+        with pytest.raises(InvalidParameterError, match="more than"):
+            router.route(1)
 
 
 class TestValidatePartition:

@@ -1,0 +1,233 @@
+"""Unit tests for the out-of-core map/shuffle substrate.
+
+Covers the growable :class:`~repro.mapreduce.backends.PartitionBuffer`
+(heap and shared-memory flavours), the
+:meth:`~repro.mapreduce.runtime.MapReduceRuntime.shuffle_stream` entry
+point on all three backends, and the coordinator-side memory accounting
+that the streamed path is designed to bound.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.mapreduce import (
+    ChunkRouter,
+    MapReduceRuntime,
+    PartitionBuffer,
+    ProcessBackend,
+)
+
+BACKENDS = ("serial", "threads", "processes")
+
+
+def _forward_mapper(key, value):
+    yield (key, value)
+
+
+def _worker_cache_probe(key, values):
+    """Reducer reporting how many segment attachments the worker still caches."""
+    from repro.mapreduce.backends import _ATTACHED_SEGMENTS, _evict_released_segments
+
+    del values
+    _evict_released_segments()
+    yield (key, len(_ATTACHED_SEGMENTS))
+
+
+def _chunks(points, size):
+    for start in range(0, points.shape[0], size):
+        yield points[start : start + size]
+
+
+class TestPartitionBuffer:
+    @pytest.mark.parametrize("shared", [False, True])
+    def test_append_and_finalize_roundtrip(self, shared):
+        rows = np.arange(24.0).reshape(8, 3)
+        buffer = PartitionBuffer(3, shared=shared, initial_capacity=2)
+        buffer.append(rows[:5])
+        buffer.append(rows[5:])
+        sealed = buffer.finalize()
+        try:
+            np.testing.assert_array_equal(sealed.array, rows)
+            assert not sealed.array.flags.writeable
+        finally:
+            sealed.close()
+
+    @pytest.mark.parametrize("shared", [False, True])
+    def test_growth_preserves_prefix(self, shared):
+        buffer = PartitionBuffer(2, shared=shared, initial_capacity=1)
+        expected = []
+        for block in range(10):
+            rows = np.full((3, 2), float(block))
+            buffer.append(rows)
+            expected.append(rows)
+        sealed = buffer.finalize()
+        try:
+            np.testing.assert_array_equal(sealed.array, np.vstack(expected))
+        finally:
+            sealed.close()
+
+    def test_one_dimensional_rows(self):
+        buffer = PartitionBuffer(None, dtype=np.intp, initial_capacity=4)
+        buffer.append(np.arange(10))
+        sealed = buffer.finalize()
+        np.testing.assert_array_equal(sealed.array, np.arange(10))
+
+    def test_shared_buffer_pickles_by_name(self):
+        buffer = PartitionBuffer(2, shared=True, initial_capacity=4)
+        buffer.append(np.ones((3, 2)))
+        sealed = buffer.finalize()
+        try:
+            attached = pickle.loads(pickle.dumps(sealed))
+            np.testing.assert_array_equal(attached.array, np.ones((3, 2)))
+        finally:
+            sealed.close()
+
+    def test_append_after_finalize_rejected(self):
+        buffer = PartitionBuffer(2)
+        buffer.append(np.zeros((1, 2)))
+        buffer.finalize()
+        with pytest.raises(InvalidParameterError):
+            buffer.append(np.zeros((1, 2)))
+
+    def test_wrong_shape_rejected(self):
+        buffer = PartitionBuffer(3)
+        with pytest.raises(InvalidParameterError):
+            buffer.append(np.zeros((2, 2)))
+
+    def test_close_without_finalize_releases_segment(self):
+        buffer = PartitionBuffer(2, shared=True)
+        buffer.append(np.zeros((2, 2)))
+        buffer.close()
+        buffer.close()  # idempotent
+
+
+class TestShuffleStream:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_partitions_reconstruct_input(self, backend, medium_blobs):
+        with MapReduceRuntime(backend=backend, max_workers=2) as runtime:
+            router = ChunkRouter(5, "round_robin")
+            result = runtime.shuffle_stream(_chunks(medium_blobs, 97), router)
+            assert result.n_points == medium_blobs.shape[0]
+            assert result.dimension == medium_blobs.shape[1]
+            reconstructed = np.empty_like(medium_blobs)
+            for part, indices in zip(result.parts, result.index_parts):
+                reconstructed[indices.array] = part.array
+            np.testing.assert_array_equal(reconstructed, medium_blobs)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_in_memory_split(self, backend, medium_blobs):
+        from repro.mapreduce import split_contiguous
+
+        parts = split_contiguous(medium_blobs.shape[0], 4)
+        with MapReduceRuntime(backend=backend, max_workers=2) as runtime:
+            router = ChunkRouter(4, "contiguous", n_total=medium_blobs.shape[0])
+            result = runtime.shuffle_stream(_chunks(medium_blobs, 128), router)
+            for part, indices, expected in zip(result.parts, result.index_parts, parts):
+                np.testing.assert_array_equal(indices.array, expected)
+                np.testing.assert_array_equal(part.array, medium_blobs[expected])
+
+    def test_oversized_native_batches_resplit(self, medium_blobs):
+        # A source may deliver one giant native batch; max_chunk_rows must
+        # keep the coordinator's in-flight working set bounded anyway.
+        with MapReduceRuntime() as runtime:
+            router = ChunkRouter(4, "round_robin")
+            result = runtime.shuffle_stream(
+                iter([medium_blobs]), router, max_chunk_rows=64
+            )
+            assert result.n_points == medium_blobs.shape[0]
+            assert result.chunk_peak == 64
+            assert runtime.stats.coordinator_peak_items == 64
+
+    def test_fit_stream_bounds_native_batches(self, medium_blobs):
+        from repro.core import MapReduceKCenter
+        from repro.streaming import ArrayStream, GeneratorStream
+
+        solver = MapReduceKCenter(5, ell=4, coreset_multiplier=2, random_state=0)
+        # One giant native batch vs properly chunked delivery: identical
+        # results, and the coordinator is charged chunk_size either way.
+        chunked = solver.fit_stream(ArrayStream(medium_blobs), chunk_size=100)
+        giant = solver.fit_stream(
+            GeneratorStream(iter([medium_blobs]), length_hint=medium_blobs.shape[0]),
+            chunk_size=100,
+        )
+        np.testing.assert_array_equal(giant.center_indices, chunked.center_indices)
+        assert giant.radius == chunked.radius
+        assert (
+            giant.stats.coordinator_peak_items
+            == chunked.stats.coordinator_peak_items
+            < medium_blobs.shape[0]
+        )
+
+    def test_coordinator_charged_one_chunk(self, medium_blobs):
+        with MapReduceRuntime() as runtime:
+            router = ChunkRouter(4, "round_robin")
+            result = runtime.shuffle_stream(_chunks(medium_blobs, 50), router)
+            assert result.chunk_peak == 50
+            assert runtime.stats.coordinator_peak_items == 50
+            # Far below the full materialisation the in-memory path pays.
+            assert runtime.stats.coordinator_peak_items < medium_blobs.shape[0]
+
+    def test_share_array_charges_full_matrix(self, medium_blobs):
+        with MapReduceRuntime() as runtime:
+            runtime.share_array(medium_blobs)
+            assert runtime.stats.coordinator_peak_items == medium_blobs.shape[0]
+
+    def test_empty_stream_rejected(self):
+        with MapReduceRuntime() as runtime:
+            with pytest.raises(InvalidParameterError, match="no points"):
+                runtime.shuffle_stream(iter(()), ChunkRouter(2, "round_robin"))
+
+    def test_underdelivery_rejected(self):
+        with MapReduceRuntime() as runtime:
+            router = ChunkRouter(2, "contiguous", n_total=100)
+            with pytest.raises(InvalidParameterError, match="declared"):
+                runtime.shuffle_stream(_chunks(np.zeros((60, 2)), 30), router)
+
+    def test_dimension_mismatch_rejected(self):
+        def chunks():
+            yield np.zeros((5, 3))
+            yield np.zeros((5, 2))
+
+        with MapReduceRuntime() as runtime:
+            with pytest.raises(InvalidParameterError, match="dimension"):
+                runtime.shuffle_stream(chunks(), ChunkRouter(2, "round_robin"))
+
+    def test_reused_process_pool_does_not_accumulate_attachments(self, medium_blobs):
+        # Regression: a long-lived caller-owned process pool reused across
+        # many fit_stream runs used to pin every run's partition segments
+        # in the workers forever (the attachment cache had no eviction).
+        from repro.core import MapReduceKCenter
+        from repro.streaming import ArrayStream
+
+        backend = ProcessBackend(max_workers=1)
+        try:
+            for seed in range(3):
+                MapReduceKCenter(
+                    4, ell=4, coreset_multiplier=2, random_state=seed, backend=backend
+                ).fit_stream(ArrayStream(medium_blobs), chunk_size=128)
+            with MapReduceRuntime(backend=backend) as runtime:
+                output = runtime.execute_round(
+                    [(0, [None])], _forward_mapper, _worker_cache_probe
+                )
+            # Every prior run's segments were unlinked by its runtime close;
+            # nothing references them in the worker, so all are evicted.
+            assert output[0][1] == 0
+        finally:
+            backend.close()
+
+    def test_close_releases_shared_partitions(self, medium_blobs):
+        runtime = MapReduceRuntime(backend="processes", max_workers=2)
+        router = ChunkRouter(3, "round_robin")
+        result = runtime.shuffle_stream(_chunks(medium_blobs, 100), router)
+        segment_names = [part._meta[0] for part in result.parts]
+        runtime.close()
+        from multiprocessing import shared_memory
+
+        for name in segment_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)

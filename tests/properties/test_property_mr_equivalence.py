@@ -1,0 +1,159 @@
+"""Cross-path equivalence of the MapReduce drivers.
+
+The MapReduce counterpart of ``test_property_batch_equivalence``: for
+fixed seeds, the solvers must produce **bit-identical** centers, center
+indices, radii and outlier sets across
+
+* every executor backend (serial / threads / processes), and
+* every drive path — the in-memory ``fit`` and the out-of-core
+  ``fit_stream`` at several chunk sizes, fed from both an
+  :class:`~repro.streaming.stream.ArrayStream` and a single-pass
+  :class:`~repro.streaming.stream.GeneratorStream`.
+
+This is what lets the streamed shuffle (and the pooled backends) inherit
+the paper-faithfulness arguments of the serial in-memory reference, and
+it doubles as the acceptance check that the coordinator's working set is
+bounded by O(chunk + coreset) instead of O(n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MapReduceKCenter, MapReduceKCenterOutliers
+from repro.streaming import ArrayStream, GeneratorStream
+
+BACKENDS = ("serial", "threads", "processes")
+CHUNK_SIZES = (64, 251, 4096)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.datasets import higgs_like, inject_outliers
+
+    points = higgs_like(1200, random_state=17)
+    return inject_outliers(points, 40, random_state=18)
+
+
+def _kcenter(backend):
+    return MapReduceKCenter(
+        6, ell=4, coreset_multiplier=3, partitioning="random",
+        random_state=5, backend=backend, max_workers=2,
+    )
+
+
+def _outliers(backend, **kwargs):
+    return MapReduceKCenterOutliers(
+        5, 40, ell=4, coreset_multiplier=3, include_log_term=False,
+        random_state=5, backend=backend, max_workers=2, **kwargs,
+    )
+
+
+class TestKCenterEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_streamed_matches_in_memory(self, dataset, backend, chunk_size):
+        points = dataset.points
+        reference = _kcenter("serial").fit(points)
+        streamed = _kcenter(backend).fit_stream(
+            ArrayStream(points), chunk_size=chunk_size
+        )
+        np.testing.assert_array_equal(streamed.center_indices, reference.center_indices)
+        np.testing.assert_array_equal(streamed.centers, reference.centers)
+        assert streamed.radius == reference.radius
+        assert streamed.coreset_size == reference.coreset_size
+
+    @pytest.mark.parametrize("partitioning", ("contiguous", "round_robin", "random"))
+    def test_partitionings_match_across_paths(self, dataset, partitioning):
+        points = dataset.points
+        solver = MapReduceKCenter(
+            6, ell=4, coreset_multiplier=3, partitioning=partitioning, random_state=9
+        )
+        in_memory = solver.fit(points)
+        streamed = solver.fit_stream(ArrayStream(points), chunk_size=200)
+        np.testing.assert_array_equal(streamed.center_indices, in_memory.center_indices)
+        assert streamed.radius == in_memory.radius
+
+    def test_generator_stream_matches_array_stream(self, dataset):
+        points = dataset.points
+
+        def chunks():
+            for start in range(0, points.shape[0], 300):
+                yield points[start : start + 300]
+
+        # Unknown-length single-pass source; round_robin needs no length.
+        solver = MapReduceKCenter(
+            6, ell=4, coreset_multiplier=3, partitioning="round_robin", random_state=5
+        )
+        from_array = solver.fit_stream(ArrayStream(points), chunk_size=300)
+        from_generator = solver.fit_stream(GeneratorStream(chunks()), chunk_size=300)
+        np.testing.assert_array_equal(
+            from_generator.center_indices, from_array.center_indices
+        )
+        assert from_generator.radius == from_array.radius
+
+
+class TestOutliersEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_streamed_matches_in_memory(self, dataset, backend):
+        points = dataset.points
+        reference = _outliers("serial").fit(points)
+        streamed = _outliers(backend).fit_stream(ArrayStream(points), chunk_size=251)
+        np.testing.assert_array_equal(streamed.center_indices, reference.center_indices)
+        np.testing.assert_array_equal(streamed.centers, reference.centers)
+        assert streamed.radius == reference.radius
+        assert streamed.radius_all_points == reference.radius_all_points
+        assert streamed.estimated_radius == reference.estimated_radius
+        np.testing.assert_array_equal(
+            streamed.outlier_indices, reference.outlier_indices
+        )
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_randomized_variant_matches(self, dataset, chunk_size):
+        points = dataset.points
+        in_memory = _outliers(None, randomized=True).fit(points)
+        streamed = _outliers(None, randomized=True).fit_stream(
+            ArrayStream(points), chunk_size=chunk_size
+        )
+        np.testing.assert_array_equal(streamed.center_indices, in_memory.center_indices)
+        assert streamed.radius == in_memory.radius
+        np.testing.assert_array_equal(
+            streamed.outlier_indices, in_memory.outlier_indices
+        )
+
+    def test_recovers_planted_outliers_out_of_core(self, dataset):
+        streamed = _outliers("processes", randomized=True).fit_stream(
+            ArrayStream(dataset.points), chunk_size=128
+        )
+        assert set(streamed.outlier_indices) == set(dataset.outlier_indices)
+
+
+class TestCoordinatorMemoryBound:
+    def test_streamed_coordinator_peak_is_chunk_plus_coreset(self, dataset):
+        points = dataset.points
+        n = points.shape[0]
+        chunk_size = 128
+        in_memory = _outliers("serial").fit(points)
+        streamed = _outliers("serial").fit_stream(
+            ArrayStream(points), chunk_size=chunk_size
+        )
+        # In-memory: the coordinator materialises all n points.
+        assert in_memory.stats.coordinator_peak_items >= n
+        # Streamed: one chunk or the coreset union, whichever is larger —
+        # measurably below the full materialisation.
+        bound = max(chunk_size, streamed.coreset_size)
+        assert streamed.stats.coordinator_peak_items <= bound
+        assert streamed.stats.coordinator_peak_items < n
+        # Reducer-side accounting (the paper's M_L) is unchanged.
+        assert (
+            streamed.stats.rounds[0].max_local_memory
+            == in_memory.stats.rounds[0].max_local_memory
+        )
+
+    def test_peak_working_memory_reported_on_results(self, dataset):
+        points = dataset.points
+        in_memory = _kcenter("serial").fit(points)
+        streamed = _kcenter("serial").fit_stream(ArrayStream(points), chunk_size=100)
+        assert in_memory.peak_working_memory_size >= points.shape[0]
+        assert streamed.peak_working_memory_size < in_memory.peak_working_memory_size

@@ -75,3 +75,16 @@ class TestGeneratorStream:
         stream = GeneratorStream(iter([np.zeros((2, 2, 2))]))
         with pytest.raises(StreamingProtocolError):
             list(stream.iterate_pass())
+
+    def test_length_hint_reported_via_len(self):
+        stream = GeneratorStream(iter([[1.0], [2.0]]), length_hint=2)
+        assert len(stream) == 2
+
+    def test_no_length_hint_raises_type_error(self):
+        stream = GeneratorStream(iter([[1.0]]))
+        with pytest.raises(TypeError):
+            len(stream)
+
+    def test_invalid_length_hint_rejected(self):
+        with pytest.raises(StreamingProtocolError):
+            GeneratorStream(iter([[1.0]]), length_hint=0)

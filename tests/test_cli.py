@@ -62,6 +62,33 @@ class TestMain:
         assert "MapReduceKCenter" in output
         assert "radius" in output
 
+    def test_solve_mr_kcenter_from_stream(self, capsys):
+        exit_code = main([
+            "solve", "mr-kcenter", "--dataset", "power",
+            "--n-points", "600", "--k", "5", "--ell", "2", "--mu", "2",
+            "--from-stream", "--chunk-size", "128",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "streamed" in output
+        assert "coordinator_peak" in output
+
+    def test_solve_mr_outliers_from_stream(self, capsys):
+        exit_code = main([
+            "solve", "mr-outliers", "--dataset", "higgs",
+            "--n-points", "600", "--k", "5", "--z", "10",
+            "--ell", "2", "--mu", "2", "--randomized",
+            "--from-stream", "--chunk-size", "100",
+        ])
+        assert exit_code == 0
+        assert "streamed" in capsys.readouterr().out
+
+    def test_from_stream_rejected_on_non_mr_commands(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["solve", "sequential-kcenter", "--from-stream"]
+            )
+
     def test_solve_mr_outliers_randomized(self, capsys):
         exit_code = main([
             "solve", "mr-outliers", "--dataset", "higgs",
