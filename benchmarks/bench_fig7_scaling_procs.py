@@ -20,11 +20,13 @@ Three complementary measurements:
   least 4 CPUs (it is reported either way).
 * ``test_figure7_streamed_shuffle_memory`` — the out-of-core shuffle on
   the seeded fig7 configuration: per backend, ``fit`` vs ``fit_stream``
-  must agree bit for bit while the coordinator's accounted working set
-  drops from ``n`` to ``O(chunk + coreset)``. Emits points/sec, the
-  exact coordinator accounting and the process peak RSS to
+  — on the backend's natural partition tier *and* with
+  ``storage="disk"`` spill files — must agree bit for bit while the
+  coordinator's accounted working set drops from ``n`` to
+  ``O(chunk + coreset)``. Emits points/sec, spilled bytes, the exact
+  coordinator accounting and the process peak RSS to
   ``BENCH_mapreduce.json`` (override with ``REPRO_BENCH_MAPREDUCE_JSON``)
-  so CI can archive the trajectory.
+  so CI can archive the trajectory, tracking the disk tier from day one.
 """
 
 from __future__ import annotations
@@ -45,7 +47,13 @@ from repro.evaluation import (
 )
 from repro.streaming import ArrayStream
 
-from .conftest import attach_records, bench_backend, bench_seed, scaling_points
+from .conftest import (
+    attach_records,
+    bench_backend,
+    bench_seed,
+    bench_storage,
+    scaling_points,
+)
 
 K, Z = 10, 60
 ELLS = (1, 2, 4, 8, 16)
@@ -137,32 +145,47 @@ def test_figure7_streamed_shuffle_memory(paper_datasets):
         in_memory_s = time.perf_counter() - start
 
         start = time.perf_counter()
-        streamed = solver().fit_stream(ArrayStream(points), chunk_size=chunk_size)
+        streamed = solver().fit_stream(
+            ArrayStream(points), chunk_size=chunk_size, storage=bench_storage()
+        )
         streamed_s = time.perf_counter() - start
 
-        # The acceptance contract: identical solutions, bounded coordinator.
-        np.testing.assert_array_equal(
-            streamed.center_indices, in_memory.center_indices
+        start = time.perf_counter()
+        spilled = solver().fit_stream(
+            ArrayStream(points), chunk_size=chunk_size, storage="disk"
         )
-        assert streamed.radius == in_memory.radius
-        np.testing.assert_array_equal(
-            streamed.outlier_indices, in_memory.outlier_indices
-        )
+        spilled_s = time.perf_counter() - start
+
+        # The acceptance contract: identical solutions, bounded coordinator —
+        # on the in-memory partition tier and on the spill-to-disk tier alike.
+        for variant in (streamed, spilled):
+            np.testing.assert_array_equal(
+                variant.center_indices, in_memory.center_indices
+            )
+            assert variant.radius == in_memory.radius
+            np.testing.assert_array_equal(
+                variant.outlier_indices, in_memory.outlier_indices
+            )
+            assert variant.stats.coordinator_peak_items <= max(
+                chunk_size, variant.coreset_size
+            )
+            if max(chunk_size, variant.coreset_size) < n:
+                assert variant.stats.coordinator_peak_items < n
         assert in_memory.stats.coordinator_peak_items >= n
-        assert streamed.stats.coordinator_peak_items <= max(
-            chunk_size, streamed.coreset_size
-        )
-        if max(chunk_size, streamed.coreset_size) < n:
-            assert streamed.stats.coordinator_peak_items < n
+        assert spilled.stats.storage_tier == "disk"
+        assert spilled.stats.spilled_bytes > 0
 
         for mode, result, elapsed in (
             ("in-memory", in_memory, in_memory_s),
             ("streamed", streamed, streamed_s),
+            ("streamed-disk", spilled, spilled_s),
         ):
             records.append({
                 "backend": backend,
                 "mode": mode,
-                "chunk_size": chunk_size if mode == "streamed" else None,
+                "chunk_size": chunk_size if mode != "in-memory" else None,
+                "storage": result.stats.storage_tier or "n/a",
+                "spilled_bytes": result.stats.spilled_bytes,
                 "n_points": n,
                 "radius": float(result.radius),
                 "points_per_sec": n / elapsed if elapsed > 0 else float("inf"),
@@ -190,8 +213,9 @@ def test_figure7_streamed_shuffle_memory(paper_datasets):
     print()
     print(format_records(
         records,
-        columns=["backend", "mode", "points_per_sec", "coordinator_peak_items",
-                 "peak_local_memory", "peak_working_memory", "coordinator_peak_rss_kib"],
+        columns=["backend", "mode", "storage", "points_per_sec", "spilled_bytes",
+                 "coordinator_peak_items", "peak_local_memory", "peak_working_memory",
+                 "coordinator_peak_rss_kib"],
     ))
 
 

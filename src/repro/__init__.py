@@ -54,6 +54,7 @@ from .core import (
 from .io import SavedSolution, load_solution, save_solution
 from .exceptions import (
     DatasetError,
+    EmptyStreamError,
     InvalidParameterError,
     MemoryBudgetExceededError,
     NotFittedError,
@@ -72,6 +73,7 @@ __all__ = [
     "CoresetStreamOutliers",
     "Dataset",
     "DatasetError",
+    "EmptyStreamError",
     "InvalidParameterError",
     "KCenterModel",
     "MapReduceKCenter",

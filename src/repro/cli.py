@@ -33,7 +33,7 @@ from .core import (
     SequentialKCenterOutliers,
 )
 from .datasets import inject_outliers, load_paper_dataset, stream_paper_dataset
-from .mapreduce import available_backends
+from .mapreduce import available_backends, available_storage_tiers
 from .streaming import ArrayStream, GeneratorStream, StreamingRunner
 from .evaluation import (
     ablation_coreset_stopping,
@@ -86,6 +86,21 @@ def _add_stream_arguments(parser: argparse.ArgumentParser) -> None:
         "--chunk-size", type=int, default=4096,
         help="rows per shuffle chunk in --from-stream mode (the coordinator's "
              "transient working set)",
+    )
+    parser.add_argument(
+        "--storage", choices=available_storage_tiers(), default="auto",
+        help="partition-storage tier for the streamed shuffle: memory/shared/disk, "
+             "or auto (spills to disk when --memory-budget-mb is exceeded)",
+    )
+    parser.add_argument(
+        "--spill-dir", default=None,
+        help="directory for disk-tier spill files (default: a run-owned "
+             "temporary directory, removed afterwards)",
+    )
+    parser.add_argument(
+        "--memory-budget-mb", type=float, default=None,
+        help="in-memory partition budget (MiB) consulted by --storage auto; "
+             "streams whose partitions would exceed it spill to disk",
     )
 
 
@@ -220,12 +235,22 @@ def _solve_from_stream(args: argparse.Namespace) -> int:
             random_state=args.seed,
         )
         stream = GeneratorStream(chunks, length_hint=args.n_points)
+    storage_kwargs = dict(
+        storage=args.storage,
+        spill_dir=args.spill_dir,
+        # Converted as-is: a budget that is zero or negative is rejected by
+        # the runtime's own validation rather than silently clamped.
+        memory_budget_bytes=(
+            None if args.memory_budget_mb is None
+            else int(args.memory_budget_mb * 1024 * 1024)
+        ),
+    )
     if args.command == "mr-kcenter":
         solver = MapReduceKCenter(
             args.k, ell=args.ell, coreset_multiplier=args.mu, random_state=args.seed,
             backend=args.backend, max_workers=args.workers,
         )
-        result = solver.fit_stream(stream, chunk_size=args.chunk_size)
+        result = solver.fit_stream(stream, chunk_size=args.chunk_size, **storage_kwargs)
         row = {"algorithm": "MapReduceKCenter (streamed)"}
     else:
         solver = MapReduceKCenterOutliers(
@@ -233,11 +258,13 @@ def _solve_from_stream(args: argparse.Namespace) -> int:
             randomized=args.randomized, include_log_term=False, random_state=args.seed,
             backend=args.backend, max_workers=args.workers,
         )
-        result = solver.fit_stream(stream, chunk_size=args.chunk_size)
+        result = solver.fit_stream(stream, chunk_size=args.chunk_size, **storage_kwargs)
         row = {"algorithm": "MapReduceKCenterOutliers (streamed)"}
     row.update({
         "backend": args.backend or "serial",
         "chunk_size": args.chunk_size,
+        "storage": result.stats.storage_tier,
+        "spilled_bytes": result.stats.spilled_bytes,
         "radius": result.radius,
         "coreset_size": result.coreset_size,
         "peak_local_memory": result.stats.peak_local_memory,

@@ -485,7 +485,15 @@ class MapReduceKCenter:
             peak_working_memory_size=stats.peak_working_memory_size,
         )
 
-    def fit_stream(self, stream, *, chunk_size: int = 4096) -> MRKCenterResult:
+    def fit_stream(
+        self,
+        stream,
+        *,
+        chunk_size: int = 4096,
+        storage: str = "auto",
+        spill_dir: str | None = None,
+        memory_budget_bytes: int | None = None,
+    ) -> MRKCenterResult:
         """Run the 2-round algorithm on a chunked point stream, out of core.
 
         Equivalent to :meth:`fit` on the same points in the same order —
@@ -517,6 +525,18 @@ class MapReduceKCenter:
         chunk_size:
             Rows per routing chunk; also the coordinator's transient
             working set during the shuffle.
+        storage:
+            Partition-storage tier for the shuffle: ``"auto"``
+            (default), ``"memory"``, ``"shared"`` or ``"disk"``. Under
+            ``"auto"`` with a ``memory_budget_bytes``, streams whose
+            estimated partition footprint exceeds the budget spill to
+            disk; ``stats.storage_tier`` / ``stats.spilled_bytes``
+            report what ran. Every tier is bit-identical.
+        spill_dir:
+            Directory for ``"disk"``-tier spill files (default: a
+            run-owned temporary directory, removed afterwards).
+        memory_budget_bytes:
+            In-memory partition budget consulted by ``storage="auto"``.
         """
         chunk_size = check_positive_int(chunk_size, name="chunk_size")
         rng = check_random_state(self.random_state)
@@ -526,6 +546,9 @@ class MapReduceKCenter:
             local_memory_limit=self.local_memory_limit,
             max_workers=self.max_workers,
             backend=self.backend,
+            storage=storage,
+            spill_dir=spill_dir,
+            memory_budget_bytes=memory_budget_bytes,
         ) as runtime:
             parts, n, _ = shuffle_point_stream(
                 runtime,

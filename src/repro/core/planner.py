@@ -37,7 +37,7 @@ from .._validation import (
     check_positive_int,
 )
 from ..exceptions import InvalidParameterError
-from ..mapreduce.backends import available_backends
+from ..mapreduce.backends import available_backends, available_storage_tiers
 from ..metricspace.doubling import doubling_dimension_estimate
 
 __all__ = ["MapReducePlan", "StreamingPlan", "plan_mapreduce", "plan_streaming"]
@@ -87,6 +87,19 @@ class MapReducePlan:
         in-memory path, ``chunk_size + union`` for the streamed one —
         the quantity that decides whether a dataset fits the machine
         driving the job.
+    storage:
+        Partition-storage tier the plan selects for the streamed
+        shuffle (``"memory"``, ``"shared"`` or ``"disk"``): an explicit
+        request is passed through; ``"auto"`` keeps the backend's
+        natural tier unless the predicted partition footprint exceeds
+        ``memory_budget_bytes``, in which case the plan spills to disk.
+    partition_tier_bytes:
+        Predicted bytes held by the partition tier: the ``(n, d)``
+        float64 rows plus, on the streamed path, the ``intp`` global-
+        index column. ``0`` when ``point_dimension`` is not given.
+    predicted_spill_bytes:
+        Bytes expected to land in spill files (``partition_tier_bytes``
+        when the selected tier is ``"disk"``, else 0).
     """
 
     ell: int
@@ -102,6 +115,9 @@ class MapReducePlan:
     streamed: bool = False
     chunk_size: int = 4096
     coordinator_memory: int = 0
+    storage: str = "memory"
+    partition_tier_bytes: int = 0
+    predicted_spill_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -156,6 +172,9 @@ def plan_mapreduce(
     backend: str | None = None,
     streamed: bool = False,
     chunk_size: int = 4096,
+    storage: str | None = None,
+    memory_budget_bytes: int | None = None,
+    point_dimension: int | None = None,
 ) -> MapReducePlan:
     """Suggest ``ell`` and coreset sizes for the MapReduce algorithms.
 
@@ -191,6 +210,23 @@ def plan_mapreduce(
         larger than the coordinator's RAM plannable at all.
     chunk_size:
         Shuffle chunk size assumed for the streamed path.
+    storage:
+        Partition-storage tier to plan for (one of
+        :func:`repro.mapreduce.available_storage_tiers`). ``None`` or
+        ``"auto"`` asks the planner to *select* one: the backend's
+        natural tier (shared memory for ``"processes"``, in-process
+        arrays otherwise) unless the streamed partition footprint is
+        predicted to exceed ``memory_budget_bytes``, which selects
+        ``"disk"``.
+    memory_budget_bytes:
+        Budget (bytes) for the in-memory partition tiers; only
+        consulted when the tier is auto-selected for a streamed plan.
+    point_dimension:
+        Dimensionality ``d`` of the points, needed to predict the
+        partition tier's byte footprint; when ``None`` the byte
+        predictions are reported as 0 and an auto-selected tier under a
+        budget conservatively spills (the runtime does the same for
+        unsized streams).
     """
     n = check_positive_int(n, name="n")
     k = check_positive_int(k, name="k")
@@ -235,6 +271,29 @@ def plan_mapreduce(
     chunk_size = check_positive_int(chunk_size, name="chunk_size")
     coordinator_memory = min(chunk_size, n) + union if streamed else n
 
+    # Per-tier footprint of the sealed partitions: float64 rows, plus the
+    # intp global-index column that rides along on the streamed path.
+    if point_dimension is not None:
+        point_dimension = check_positive_int(point_dimension, name="point_dimension")
+        row_bytes = point_dimension * 8 + (8 if streamed else 0)
+        partition_tier_bytes = n * row_bytes
+    else:
+        partition_tier_bytes = 0
+    if storage in (None, "auto"):
+        over_budget = memory_budget_bytes is not None and (
+            partition_tier_bytes == 0 or partition_tier_bytes > memory_budget_bytes
+        )
+        if streamed and over_budget:
+            storage = "disk"
+        else:
+            storage = "shared" if backend == "processes" else "memory"
+    elif storage not in available_storage_tiers():
+        raise InvalidParameterError(
+            f"unknown storage tier {storage!r}; available: "
+            f"{', '.join(available_storage_tiers())}"
+        )
+    predicted_spill = partition_tier_bytes if (streamed and storage == "disk") else 0
+
     return MapReducePlan(
         ell=ell,
         per_partition_points=per_partition,
@@ -249,6 +308,9 @@ def plan_mapreduce(
         streamed=bool(streamed),
         chunk_size=chunk_size,
         coordinator_memory=coordinator_memory,
+        storage=storage,
+        partition_tier_bytes=partition_tier_bytes,
+        predicted_spill_bytes=predicted_spill,
     )
 
 

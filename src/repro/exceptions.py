@@ -26,6 +26,18 @@ class DatasetError(ReproError, ValueError):
     """A dataset is malformed (wrong shape, empty, NaN values, ...)."""
 
 
+class EmptyStreamError(DatasetError):
+    """A point stream delivered no points to an algorithm that needs at least one.
+
+    An empty stream is a legitimate *source* (``GeneratorStream`` accepts
+    ``length_hint=0``), but the solvers cannot produce a solution from
+    it. This error is raised deterministically at the entry points
+    (``fit_stream``, :meth:`repro.streaming.runner.StreamingRunner.run`)
+    instead of surfacing as a confusing failure from deep inside
+    ``finalize``.
+    """
+
+
 class MemoryBudgetExceededError(ReproError, RuntimeError):
     """A simulated worker exceeded its configured local-memory budget.
 

@@ -29,6 +29,31 @@ costs a few bytes of metadata instead of the matrix. Under the serial and
 thread backends :class:`SharedArray` is a zero-copy wrapper around the
 original array.
 
+Orthogonal to *where reducers run* is *where the shuffle's partition rows
+live* while they are being assembled. That is the :class:`PartitionStore`
+protocol, with three tiers (see :func:`resolve_storage`):
+
+* :class:`MemoryPartitionStore` (``"memory"``) — plain NumPy arrays in
+  the coordinator's address space; the natural tier for the serial and
+  thread backends (their reducers share that address space anyway).
+* :class:`SharedMemoryPartitionStore` (``"shared"``) — POSIX
+  shared-memory segments, bounded by ``/dev/shm`` (typically half of
+  RAM); the natural tier for the process backend, whose workers attach
+  to a sealed partition by segment name instead of receiving a pickled
+  copy.
+* :class:`DiskPartitionStore` (``"disk"``) — per-partition ``.npy``
+  spill files that chunks are appended to and that :meth:`finalize
+  <DiskPartitionStore.finalize>` reopens as read-only
+  :class:`numpy.memmap` matrices. Worker processes open the file by
+  *path* when they unpickle a handle — the disk twin of the
+  shared-memory by-name handoff, again without pickling any row data —
+  which lifts the ``/dev/shm`` ceiling on single-host dataset size: a
+  reducer's working set stays ``O(n/ell)`` resident while the sealed
+  partitions live on disk.
+
+:class:`PartitionBuffer` validates and appends rows and delegates the
+actual storage to one of these tiers.
+
 Reducer callables handed to :class:`ProcessBackend` must be picklable:
 module-level functions, or :func:`functools.partial` of module-level
 functions over picklable arguments. The k-center drivers in
@@ -38,8 +63,10 @@ functions over picklable arguments. The k-center drivers in
 from __future__ import annotations
 
 import os
+import struct
 import sys
 import time
+import uuid
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from multiprocessing import shared_memory
 from typing import Hashable, Protocol, runtime_checkable
@@ -54,9 +81,15 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "SharedArray",
+    "PartitionStore",
+    "MemoryPartitionStore",
+    "SharedMemoryPartitionStore",
+    "DiskPartitionStore",
     "PartitionBuffer",
     "available_backends",
+    "available_storage_tiers",
     "resolve_backend",
+    "resolve_storage",
 ]
 
 
@@ -143,18 +176,38 @@ def _attach_shared_array(meta: tuple[str, tuple, str]) -> "SharedArray":
     return SharedArray(cached[1], meta=meta)
 
 
+def _attach_spilled_array(meta: tuple[str, tuple, str]) -> "SharedArray":
+    """Reconstruct a spilled :class:`SharedArray` in a worker process by path.
+
+    The worker memory-maps the ``.npy`` spill file read-only; nothing is
+    copied and the attached handle never owns (so never unlinks) the
+    file — the coordinator's sealed handle does.
+    """
+    return SharedArray.from_spill_file(*meta)
+
+
+def _rebuild_by_value(array: np.ndarray) -> "SharedArray":
+    """Reconstruct a by-value :class:`SharedArray` from its pickled rows."""
+    array = np.asarray(array)
+    array.flags.writeable = False
+    return SharedArray(array, by_value=True)
+
+
 class SharedArray:
     """A read-only NumPy array that reducers can reference cheaply on any backend.
 
-    Instances are created by :meth:`ExecutorBackend.share_array`. Under
-    the serial and thread backends the wrapper holds the original array
-    (zero copy). Under the process backend the data lives in a named
-    shared-memory segment: pickling the wrapper serialises only
-    ``(name, shape, dtype)``, and unpickling in a worker attaches to the
-    segment instead of copying the data.
+    Instances are created by :meth:`ExecutorBackend.share_array` and by
+    the partition stores' ``finalize``. Under the serial and thread
+    backends the wrapper holds the original array (zero copy). Under the
+    process backend the data lives out of line and pickling serialises
+    only a handle: ``(name, shape, dtype)`` for a shared-memory segment,
+    ``(path, shape, dtype)`` for an on-disk ``.npy`` spill file that the
+    worker memory-maps read-only. Handles from the in-process memory
+    tier can optionally pickle their rows by value (``by_value=True``),
+    which is correct on every backend but pays the copy.
     """
 
-    __slots__ = ("_array", "_segment", "_meta")
+    __slots__ = ("_array", "_segment", "_meta", "_spill_meta", "_owns_spill", "_by_value")
 
     def __init__(
         self,
@@ -162,10 +215,16 @@ class SharedArray:
         *,
         segment: shared_memory.SharedMemory | None = None,
         meta: tuple[str, tuple, str] | None = None,
+        spill_meta: tuple[str, tuple, str] | None = None,
+        owns_spill: bool = False,
+        by_value: bool = False,
     ) -> None:
         self._array = array
         self._segment = segment
         self._meta = meta
+        self._spill_meta = spill_meta
+        self._owns_spill = owns_spill
+        self._by_value = by_value
 
     @classmethod
     def wrap(cls, array) -> "SharedArray":
@@ -196,6 +255,35 @@ class SharedArray:
         view.flags.writeable = False
         return cls(view, segment=segment, meta=(segment.name, shape, np.dtype(dtype).str))
 
+    @classmethod
+    def from_spill_file(
+        cls, path: str, shape: tuple, dtype, *, owner: bool = False
+    ) -> "SharedArray":
+        """Memory-map an on-disk ``.npy`` spill file without copying it.
+
+        Used by :class:`DiskPartitionStore` to hand off a partition it
+        appended chunk by chunk. The owner-side handle (``owner=True``)
+        deletes the file on :meth:`close`; handles attached in worker
+        processes never do.
+        """
+        if int(np.prod(tuple(shape))) == 0:
+            # mmap cannot map zero bytes; an empty partition is read eagerly
+            # (it costs nothing) so zero-row spill files stay valid handles.
+            view = np.load(path)
+            view.flags.writeable = False
+        else:
+            view = np.load(path, mmap_mode="r")
+        expected = (tuple(shape), np.dtype(dtype))
+        if (view.shape, view.dtype) != expected:  # pragma: no cover - corruption guard
+            raise InvalidParameterError(
+                f"spill file {path} holds {view.shape} {view.dtype}; expected {expected}"
+            )
+        return cls(
+            view,
+            spill_meta=(os.fspath(path), tuple(shape), np.dtype(dtype).str),
+            owns_spill=owner,
+        )
+
     @property
     def array(self) -> np.ndarray:
         """The underlying read-only ``ndarray``."""
@@ -221,16 +309,20 @@ class SharedArray:
         return self._array
 
     def __reduce__(self):
-        if self._meta is None:
-            raise TypeError(
-                "this SharedArray wraps a plain in-process array and cannot be "
-                "sent to another process; obtain it from a process backend's "
-                "share_array() instead"
-            )
-        return (_attach_shared_array, (self._meta,))
+        if self._meta is not None:
+            return (_attach_shared_array, (self._meta,))
+        if self._spill_meta is not None:
+            return (_attach_spilled_array, (self._spill_meta,))
+        if self._by_value:
+            return (_rebuild_by_value, (np.asarray(self._array),))
+        raise TypeError(
+            "this SharedArray wraps a plain in-process array and cannot be "
+            "sent to another process; obtain it from a process backend's "
+            "share_array() instead"
+        )
 
     def close(self) -> None:
-        """Release the shared-memory segment (owner side: also unlink it)."""
+        """Release the backing storage (owner side: also unlink/delete it)."""
         if self._segment is not None:
             self._array = np.empty(0, dtype=self._array.dtype)
             self._segment.close()
@@ -239,63 +331,80 @@ class SharedArray:
             except FileNotFoundError:  # pragma: no cover - already unlinked
                 pass
             self._segment = None
+        if self._owns_spill and self._spill_meta is not None:
+            # Drop the memmap view before deleting the file; on POSIX the
+            # unlink is safe even if stray views are still mapped.
+            path = self._spill_meta[0]
+            self._array = np.empty(0, dtype=self._array.dtype)
+            self._owns_spill = False
+            try:
+                os.unlink(path)
+            except FileNotFoundError:  # pragma: no cover - already deleted
+                pass
 
 
-class PartitionBuffer:
-    """Append-only, capacity-doubling row buffer for one shuffle partition.
+# -- partition storage tiers -----------------------------------------------------------
 
-    The out-of-core shuffle routes each incoming chunk's rows directly
-    into per-partition buffers so the coordinator never assembles the
-    full ``(n, d)`` matrix. Two storage flavours:
 
-    * ``shared=False`` — a plain NumPy array in the current address
-      space; right for the serial and thread backends, whose reducers
-      share the coordinator's memory anyway.
-    * ``shared=True`` — a POSIX shared-memory segment; right for the
-      process backend, where :meth:`finalize` yields a
-      :class:`SharedArray` that worker processes attach to by name
-      instead of receiving a pickled copy.
+@runtime_checkable
+class PartitionStore(Protocol):
+    """Where one shuffle partition's rows live while being assembled.
 
-    Capacity grows geometrically (amortised O(1) appends); for unknown-
-    length streams the overshoot is at most 2x the partition size, and
-    exact-size preallocation is available through ``initial_capacity``.
-    ``dimension=None`` stores scalar rows (a 1-d buffer), which the
-    drivers use for the global-index column that rides along with each
-    partition's points.
+    A store receives pre-validated row blocks through :meth:`append`,
+    seals itself exactly once through :meth:`finalize` (returning a
+    read-only :class:`SharedArray` whose pickled form is a cheap handle,
+    never the row data — except for the in-process memory tier, which
+    pickles by value), and releases any storage that was never handed
+    off through :meth:`close` (idempotent, also safe after finalize).
     """
 
-    def __init__(
-        self,
-        dimension: int | None,
-        *,
-        dtype=np.float64,
-        shared: bool = False,
-        initial_capacity: int = 1024,
-    ) -> None:
-        if dimension is not None and dimension < 1:
-            raise InvalidParameterError("dimension must be >= 1 (or None for 1-d rows)")
-        if initial_capacity < 1:
-            raise InvalidParameterError("initial_capacity must be >= 1")
-        self._dimension = None if dimension is None else int(dimension)
-        self._dtype = np.dtype(dtype)
-        self._shared = bool(shared)
+    #: Tier name: ``"memory"``, ``"shared"`` or ``"disk"``.
+    tier: str
+
+    @property
+    def n_rows(self) -> int:
+        """Rows appended so far."""
+        ...
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Bytes this store wrote to disk (0 for the in-memory tiers)."""
+        ...
+
+    def append(self, rows: np.ndarray) -> None:
+        """Store a validated ``(m, d)`` (or ``(m,)``) block of rows."""
+        ...
+
+    def finalize(self) -> SharedArray:
+        """Seal the store and hand off its contents."""
+        ...
+
+    def close(self) -> None:
+        """Release storage that was never handed off. Idempotent."""
+        ...
+
+
+def _partition_shape(dimension: int | None, capacity) -> tuple:
+    """Row-block shape: ``(capacity, d)``, or ``(capacity,)`` for 1-d buffers."""
+    if dimension is None:
+        return (capacity,)
+    return (capacity, dimension)
+
+
+class _GrowableStore:
+    """Shared capacity-doubling append logic of the two in-memory tiers."""
+
+    def __init__(self, dimension: int | None, dtype: np.dtype, initial_capacity: int) -> None:
+        self._dimension = dimension
+        self._dtype = dtype
         self._n = 0
-        self._segment, self._storage = self._allocate(int(initial_capacity))
-        self._finalized = False
+        self._segment, self._storage = self._allocate(initial_capacity)
 
     def _shape(self, capacity) -> tuple:
-        if self._dimension is None:
-            return (capacity,)
-        return (capacity, self._dimension)
+        return _partition_shape(self._dimension, capacity)
 
-    def _allocate(self, capacity: int):
-        """Allocate fresh storage of ``capacity`` rows; returns ``(segment, view)``."""
-        shape = self._shape(capacity)
-        if not self._shared:
-            return None, np.empty(shape, dtype=self._dtype)
-        nbytes = int(np.prod(shape)) * self._dtype.itemsize
-        segment = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
-        return segment, np.ndarray(shape, dtype=self._dtype, buffer=segment.buf)
+    def _allocate(self, capacity: int):  # pragma: no cover - abstract
+        raise NotImplementedError
 
     @staticmethod
     def _release(segment: shared_memory.SharedMemory | None) -> None:
@@ -308,13 +417,285 @@ class PartitionBuffer:
 
     @property
     def n_rows(self) -> int:
-        """Rows appended so far."""
         return self._n
+
+    @property
+    def spilled_bytes(self) -> int:
+        return 0
+
+    def append(self, rows: np.ndarray) -> None:
+        m = rows.shape[0]
+        needed = self._n + m
+        capacity = self._storage.shape[0]
+        if needed > capacity:
+            new_segment, grown = self._allocate(max(needed, 2 * capacity))
+            grown[: self._n] = self._storage[: self._n]
+            old_segment, self._segment = self._segment, new_segment
+            self._storage = grown
+            self._release(old_segment)
+        self._storage[self._n : needed] = rows
+        self._n = needed
+
+    def close(self) -> None:
+        if self._segment is not None:
+            self._storage = np.empty(self._shape(0), dtype=self._dtype)
+            segment, self._segment = self._segment, None
+            self._release(segment)
+
+
+class MemoryPartitionStore(_GrowableStore):
+    """Partition rows in a plain NumPy array in the coordinator's address space.
+
+    The right tier for the serial and thread backends, whose reducers
+    share the coordinator's memory. The sealed handle pickles its rows
+    *by value*, so the tier stays usable (at a copy cost) even under the
+    process backend.
+    """
+
+    tier = "memory"
+
+    def _allocate(self, capacity: int):
+        return None, np.empty(self._shape(capacity), dtype=self._dtype)
+
+    def finalize(self) -> SharedArray:
+        view = self._storage[: self._n]
+        view.flags.writeable = False
+        return SharedArray(view, by_value=True)
+
+
+class SharedMemoryPartitionStore(_GrowableStore):
+    """Partition rows in a POSIX shared-memory segment.
+
+    The right tier for the process backend: :meth:`finalize` transfers
+    the filled segment to the returned :class:`SharedArray`, which
+    worker processes attach to *by name* instead of receiving a pickled
+    copy. Capacity is bounded by ``/dev/shm`` (typically half of RAM).
+    """
+
+    tier = "shared"
+
+    def _allocate(self, capacity: int):
+        shape = self._shape(capacity)
+        nbytes = int(np.prod(shape)) * self._dtype.itemsize
+        segment = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        return segment, np.ndarray(shape, dtype=self._dtype, buffer=segment.buf)
+
+    def finalize(self) -> SharedArray:
+        segment = self._segment
+        self._segment = None
+        return SharedArray.from_filled_segment(segment, self._shape(self._n), self._dtype)
+
+
+_NPY_HEADER_SIZE = 128
+"""Fixed on-disk ``.npy`` header size reserved by :class:`DiskPartitionStore`.
+
+The header is rewritten in place at finalize time (once the row count is
+known), so it must have a fixed length; 128 bytes fits any realistic
+``(n, d)`` shape with room to spare and keeps the data 64-byte aligned
+for the memmap.
+"""
+
+
+def _npy_header(shape: tuple, dtype: np.dtype) -> bytes:
+    """A version-1.0 ``.npy`` header padded to exactly ``_NPY_HEADER_SIZE`` bytes."""
+    descr = np.lib.format.dtype_to_descr(dtype)
+    header = (
+        f"{{'descr': {descr!r}, 'fortran_order': False, 'shape': {tuple(shape)!r}, }}"
+    ).encode("latin1")
+    payload_len = _NPY_HEADER_SIZE - 10  # magic (6) + version (2) + length field (2)
+    if len(header) + 1 > payload_len:  # pragma: no cover - astronomically large shapes
+        raise InvalidParameterError(f"spill header for shape {shape} exceeds the reserved size")
+    payload = header.ljust(payload_len - 1, b" ") + b"\n"
+    return b"\x93NUMPY\x01\x00" + struct.pack("<H", payload_len) + payload
+
+
+class DiskPartitionStore:
+    """Partition rows appended to an on-disk ``.npy`` spill file.
+
+    Chunks are written straight through to the file (the coordinator
+    keeps no copy), a placeholder header is rewritten with the true
+    shape at finalize time, and the sealed partition is reopened as a
+    read-only :class:`numpy.memmap`. Worker processes unpickling the
+    handle open the file by path — no row data is ever pickled — so the
+    tier mirrors the shared-memory by-name handoff while being bounded
+    by disk instead of ``/dev/shm``.
+    """
+
+    tier = "disk"
+
+    def __init__(self, dimension: int | None, dtype: np.dtype, spill_dir: str) -> None:
+        self._dimension = dimension
+        self._dtype = dtype
+        self._n = 0
+        self._spilled = 0
+        self._path = os.path.join(os.fspath(spill_dir), f"part-{uuid.uuid4().hex}.npy")
+        self._file = open(self._path, "w+b")
+        self._file.write(b"\0" * _NPY_HEADER_SIZE)
+
+    def _shape(self, capacity) -> tuple:
+        return _partition_shape(self._dimension, capacity)
+
+    @property
+    def n_rows(self) -> int:
+        return self._n
+
+    @property
+    def spilled_bytes(self) -> int:
+        return self._spilled
+
+    def append(self, rows: np.ndarray) -> None:
+        data = np.ascontiguousarray(rows)
+        self._file.write(data.data)
+        self._n += rows.shape[0]
+        self._spilled += data.nbytes
+
+    def finalize(self) -> SharedArray:
+        shape = self._shape(self._n)
+        self._file.seek(0)
+        self._file.write(_npy_header(shape, self._dtype))
+        self._file.close()
+        self._file = None
+        path, self._path = self._path, None
+        return SharedArray.from_spill_file(path, shape, self._dtype, owner=True)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._path is not None:
+            path, self._path = self._path, None
+            try:
+                os.unlink(path)
+            except FileNotFoundError:  # pragma: no cover - already deleted
+                pass
+
+
+_STORAGE_TIERS = ("disk", "memory", "shared")
+
+
+def available_storage_tiers() -> tuple[str, ...]:
+    """Names accepted by the ``storage=`` knobs (``"auto"`` plus the concrete tiers)."""
+    return ("auto",) + _STORAGE_TIERS
+
+
+def resolve_storage(
+    storage: str | None,
+    *,
+    backend: "ExecutorBackend | None" = None,
+    estimated_bytes: int | None = None,
+    memory_budget_bytes: int | None = None,
+) -> str:
+    """Turn a storage knob (``"auto"``/``"memory"``/``"shared"``/``"disk"``) into a tier.
+
+    ``"auto"`` (or ``None``) preserves the historical pairing — shared
+    memory under a backend with ``uses_shared_memory`` (the process
+    pool), plain in-process arrays otherwise — unless a
+    ``memory_budget_bytes`` is given and the shuffle's estimated
+    partition-tier footprint exceeds it (or is unknown, for unsized
+    streams), in which case the shuffle spills to disk.
+    """
+    if storage is None:
+        storage = "auto"
+    if storage in _STORAGE_TIERS:
+        return storage
+    if storage != "auto":
+        raise InvalidParameterError(
+            f"unknown storage tier {storage!r}; available: "
+            f"{', '.join(available_storage_tiers())}"
+        )
+    if memory_budget_bytes is not None and (
+        estimated_bytes is None or estimated_bytes > memory_budget_bytes
+    ):
+        return "disk"
+    return "shared" if getattr(backend, "uses_shared_memory", False) else "memory"
+
+
+class PartitionBuffer:
+    """Append-only row buffer for one shuffle partition, on a pluggable storage tier.
+
+    The out-of-core shuffle routes each incoming chunk's rows directly
+    into per-partition buffers so the coordinator never assembles the
+    full ``(n, d)`` matrix. The buffer validates and counts rows and
+    delegates storage to a :class:`PartitionStore`:
+
+    * ``storage="memory"`` — a plain NumPy array in the current address
+      space (:class:`MemoryPartitionStore`);
+    * ``storage="shared"`` — a POSIX shared-memory segment
+      (:class:`SharedMemoryPartitionStore`);
+    * ``storage="disk"`` — an on-disk ``.npy`` spill file
+      (:class:`DiskPartitionStore`; requires ``spill_dir``).
+
+    The legacy ``shared=`` flag maps to ``"shared"``/``"memory"`` when
+    ``storage`` is not given. The in-memory tiers grow geometrically
+    (amortised O(1) appends; for unknown-length streams the overshoot is
+    at most 2x the partition size, and exact-size preallocation is
+    available through ``initial_capacity``); the disk tier appends
+    straight to its file. ``dimension=None`` stores scalar rows (a 1-d
+    buffer), which the drivers use for the global-index column that
+    rides along with each partition's points.
+    """
+
+    def __init__(
+        self,
+        dimension: int | None,
+        *,
+        dtype=np.float64,
+        shared: bool = False,
+        initial_capacity: int = 1024,
+        storage: str | None = None,
+        spill_dir: str | None = None,
+    ) -> None:
+        if dimension is not None and dimension < 1:
+            raise InvalidParameterError("dimension must be >= 1 (or None for 1-d rows)")
+        if initial_capacity < 1:
+            raise InvalidParameterError("initial_capacity must be >= 1")
+        if storage is None:
+            storage = "shared" if shared else "memory"
+        if storage not in _STORAGE_TIERS:
+            raise InvalidParameterError(
+                f"unknown storage tier {storage!r}; available: "
+                f"{', '.join(_STORAGE_TIERS)} (resolve 'auto' with resolve_storage())"
+            )
+        self._dimension = None if dimension is None else int(dimension)
+        self._dtype = np.dtype(dtype)
+        self._finalized = False
+        if storage == "disk":
+            if spill_dir is None:
+                raise InvalidParameterError("disk partition storage requires a spill_dir")
+            self._store: PartitionStore = DiskPartitionStore(
+                self._dimension, self._dtype, spill_dir
+            )
+        elif storage == "shared":
+            self._store = SharedMemoryPartitionStore(
+                self._dimension, self._dtype, int(initial_capacity)
+            )
+        else:
+            self._store = MemoryPartitionStore(
+                self._dimension, self._dtype, int(initial_capacity)
+            )
+
+    def _shape(self, capacity) -> tuple:
+        return _partition_shape(self._dimension, capacity)
+
+    @property
+    def n_rows(self) -> int:
+        """Rows appended so far."""
+        return self._store.n_rows
+
+    @property
+    def storage_tier(self) -> str:
+        """Name of the tier the rows live on (``"memory"``/``"shared"``/``"disk"``)."""
+        return self._store.tier
 
     @property
     def shared(self) -> bool:
         """Whether the buffer lives in POSIX shared memory."""
-        return self._shared
+        return self._store.tier == "shared"
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Bytes this buffer wrote to disk (0 for the in-memory tiers)."""
+        return self._store.spilled_bytes
 
     def append(self, rows) -> None:
         """Append a block of rows (``(m, d)``, or ``(m,)`` for 1-d buffers)."""
@@ -328,46 +709,25 @@ class PartitionBuffer:
             raise InvalidParameterError(
                 f"rows must have shape {self._shape('m')}; got {rows.shape}"
             )
-        m = rows.shape[0]
-        if m == 0:
+        if rows.shape[0] == 0:
             return
-        needed = self._n + m
-        capacity = self._storage.shape[0]
-        if needed > capacity:
-            new_segment, grown = self._allocate(max(needed, 2 * capacity))
-            grown[: self._n] = self._storage[: self._n]
-            old_segment, self._segment = self._segment, new_segment
-            self._storage = grown
-            self._release(old_segment)
-        self._storage[self._n : needed] = rows
-        self._n = needed
+        self._store.append(rows)
 
     def finalize(self) -> SharedArray:
         """Seal the buffer and return its contents as a read-only :class:`SharedArray`.
 
         Zero-copy: the returned wrapper views the buffer's own storage
-        (the shared-memory segment transfers to it for ``shared=True``
-        buffers). The buffer cannot be appended to afterwards.
+        (the shared-memory segment or spill file transfers to it for the
+        out-of-line tiers). The buffer cannot be appended to afterwards.
         """
         if self._finalized:
             raise InvalidParameterError("PartitionBuffer already finalized")
         self._finalized = True
-        if self._shared:
-            segment = self._segment
-            self._segment = None
-            return SharedArray.from_filled_segment(
-                segment, self._shape(self._n), self._dtype
-            )
-        view = self._storage[: self._n]
-        view.flags.writeable = False
-        return SharedArray(view)
+        return self._store.finalize()
 
     def close(self) -> None:
-        """Release a shared segment that was never handed off. Idempotent."""
-        if self._segment is not None:
-            self._storage = np.empty(self._shape(0), dtype=self._dtype)
-            segment, self._segment = self._segment, None
-            self._release(segment)
+        """Release storage that was never handed off. Idempotent."""
+        self._store.close()
 
 
 # -- backends --------------------------------------------------------------------------

@@ -72,6 +72,37 @@ memory model: reducers hold ``O(n/ell)``, the coordinator holds
 working set (in points) so the space metric of the Figure 7 experiments
 is reported for both drive paths.
 
+Storage tiers
+-------------
+*Where the sealed partitions live* is a knob orthogonal to the executor
+backend: ``storage=`` on the runtime (and on
+:meth:`MapReduceRuntime.shuffle_stream`, both drivers' ``fit_stream``,
+and the CLI ``mr-*`` commands) selects a
+:class:`~repro.mapreduce.backends.PartitionStore` tier:
+
+* ``"memory"`` — plain per-partition arrays in the coordinator's
+  address space; the natural tier for the serial and thread backends.
+* ``"shared"`` — POSIX shared-memory segments that process-backend
+  workers attach to by name; bounded by ``/dev/shm`` (typically half of
+  RAM).
+* ``"disk"`` — per-partition ``.npy`` spill files, appended chunk by
+  chunk and finalized as read-only :class:`numpy.memmap` matrices that
+  workers open by *path*; bounded by disk instead of ``/dev/shm``, which
+  is what makes single-host datasets beyond shared memory drivable while
+  each reducer still only keeps its ``O(n/ell)`` partition resident.
+* ``"auto"`` (default) — the historical backend pairing (shared memory
+  for the process pool, plain arrays otherwise) unless
+  ``memory_budget_bytes`` is set and the estimated partition-tier
+  footprint exceeds it (or the stream is unsized), in which case the
+  shuffle spills to disk. See
+  :func:`~repro.mapreduce.backends.resolve_storage`.
+
+Every tier produces bit-identical partitions (the routing never
+changes); :attr:`JobStats.storage_tier` and :attr:`JobStats.spilled_bytes`
+record which tier ran and how many bytes went to disk, and
+:func:`repro.core.planner.plan_mapreduce` predicts the per-tier
+footprints up front.
+
 Accounting is backend-agnostic by construction: every backend returns the
 same per-group outputs and in-reducer timings, the runtime collects them
 in deterministic (insertion) key order, and the recorded
@@ -87,15 +118,29 @@ the k-center drivers in :mod:`repro.core.mr_kcenter` and
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
-from ..exceptions import InvalidParameterError, MemoryBudgetExceededError
+from ..exceptions import (
+    EmptyStreamError,
+    InvalidParameterError,
+    MemoryBudgetExceededError,
+)
 from ..streaming.stream import GeneratorStream, PointStream
-from .backends import ExecutorBackend, PartitionBuffer, SharedArray, resolve_backend
+from .backends import (
+    ExecutorBackend,
+    PartitionBuffer,
+    SharedArray,
+    available_storage_tiers,
+    resolve_backend,
+    resolve_storage,
+)
 from .partitioner import ChunkRouter
 
 __all__ = [
@@ -189,6 +234,13 @@ class JobStats:
     #: This is the quantity the out-of-core shuffle bounds at
     #: ``O(chunk + coreset)``.
     coordinator_peak_items: int = 0
+    #: Partition-storage tier the streamed shuffle used
+    #: (``"memory"``/``"shared"``/``"disk"``); ``None`` when no streamed
+    #: shuffle ran.
+    storage_tier: str | None = None
+    #: Bytes of partition data written to spill files (0 unless the
+    #: ``"disk"`` tier ran).
+    spilled_bytes: int = 0
 
     @property
     def n_rounds(self) -> int:
@@ -267,6 +319,12 @@ class StreamShuffleResult:
         Point dimensionality observed on the stream.
     chunk_peak:
         Largest single chunk (in points) the coordinator held in flight.
+    storage_tier:
+        Partition-storage tier the shuffle used
+        (``"memory"``/``"shared"``/``"disk"``).
+    spilled_bytes:
+        Bytes of partition data written to spill files (0 unless the
+        ``"disk"`` tier ran).
     """
 
     parts: list
@@ -274,6 +332,8 @@ class StreamShuffleResult:
     n_points: int
     dimension: int
     chunk_peak: int
+    storage_tier: str = "memory"
+    spilled_bytes: int = 0
 
 
 class MapReduceRuntime:
@@ -303,6 +363,20 @@ class MapReduceRuntime:
         Backends named by string are owned and closed by the runtime;
         an instance passed in stays open across :meth:`close` so its
         pool can be reused, and is closed by the caller.
+    storage:
+        Partition-storage tier for :meth:`shuffle_stream`: ``"auto"``
+        (default), ``"memory"``, ``"shared"`` or ``"disk"``. See the
+        "Storage tiers" section of the module docstring.
+    spill_dir:
+        Directory for ``"disk"``-tier spill files. ``None`` (default)
+        uses a runtime-owned temporary directory that :meth:`close`
+        removes; a caller-provided directory is created if missing and
+        left in place (only the spill files themselves are deleted).
+    memory_budget_bytes:
+        Budget (bytes) for the in-memory partition tiers under
+        ``storage="auto"``: a shuffle whose estimated partition
+        footprint exceeds it — or cannot be estimated, for unsized
+        streams — spills to disk. ``None`` disables the budget.
 
     Examples
     --------
@@ -324,11 +398,21 @@ class MapReduceRuntime:
         sizeof: Callable[[object], int] = default_sizeof,
         max_workers: int | None = None,
         backend: str | ExecutorBackend | None = None,
+        storage: str = "auto",
+        spill_dir: str | None = None,
+        memory_budget_bytes: int | None = None,
     ) -> None:
         if local_memory_limit is not None and local_memory_limit < 1:
             raise InvalidParameterError("local_memory_limit must be >= 1 or None")
         if max_workers is not None and max_workers < 1:
             raise InvalidParameterError("max_workers must be >= 1")
+        if storage not in available_storage_tiers():
+            raise InvalidParameterError(
+                f"unknown storage tier {storage!r}; available: "
+                f"{', '.join(available_storage_tiers())}"
+            )
+        if memory_budget_bytes is not None and memory_budget_bytes < 1:
+            raise InvalidParameterError("memory_budget_bytes must be >= 1 or None")
         self._local_memory_limit = local_memory_limit
         self._sizeof = sizeof
         # Backends named by string (or defaulted) are created, and therefore
@@ -336,6 +420,10 @@ class MapReduceRuntime:
         # the caller, whose pool must survive (and be reusable after) close().
         self._owns_backend = backend is None or isinstance(backend, str)
         self._backend = resolve_backend(backend, max_workers=max_workers)
+        self._storage = storage
+        self._spill_dir = spill_dir
+        self._own_spill_dir: str | None = None
+        self._memory_budget_bytes = memory_budget_bytes
         self._shared_arrays: list[SharedArray] = []
         self._stats = JobStats()
 
@@ -366,6 +454,16 @@ class MapReduceRuntime:
             self._stats.coordinator_peak_items, int(items)
         )
 
+    def _ensure_spill_dir(self, override: str | None = None) -> str:
+        """The directory disk-tier spill files go to (created on first use)."""
+        caller_dir = override if override is not None else self._spill_dir
+        if caller_dir is not None:
+            os.makedirs(caller_dir, exist_ok=True)
+            return caller_dir
+        if self._own_spill_dir is None:
+            self._own_spill_dir = tempfile.mkdtemp(prefix="repro-spill-")
+        return self._own_spill_dir
+
     def shuffle_stream(
         self,
         chunks: Iterable[np.ndarray],
@@ -375,6 +473,8 @@ class MapReduceRuntime:
         dtype=np.float64,
         partition_size_hint: int | None = None,
         max_chunk_rows: int | None = None,
+        storage: str | None = None,
+        spill_dir: str | None = None,
     ) -> StreamShuffleResult:
         """Route a chunked point stream into per-partition buffers (out of core).
 
@@ -382,16 +482,21 @@ class MapReduceRuntime:
         :meth:`repro.streaming.stream.PointStream.iterate_batches`);
         ``router`` decides each row's partition from its global stream
         index alone. Rows are scattered into per-partition
-        :class:`~repro.mapreduce.backends.PartitionBuffer` storage —
-        shared-memory segments under a backend with
-        ``uses_shared_memory`` (the process pool), plain per-partition
-        arrays otherwise — so the coordinator never assembles the full
+        :class:`~repro.mapreduce.backends.PartitionBuffer` storage on
+        the tier ``storage`` selects (``None`` defers to the runtime's
+        ``storage=`` default; see the "Storage tiers" section of the
+        module docstring) — so the coordinator never assembles the full
         ``(n, d)`` matrix; its working set is one chunk plus routing
         metadata, recorded in :attr:`JobStats.coordinator_peak_items`.
+        The tier that ran and the bytes it spilled are recorded in
+        :attr:`JobStats.storage_tier` / :attr:`JobStats.spilled_bytes`.
 
         The sealed partitions are registered with the runtime and
-        released by :meth:`close`. ``max_chunk_rows`` re-splits oversized
-        incoming chunks (sources with native batching, such as
+        released by :meth:`close`; on a mid-stream failure every
+        partially-filled buffer (shared segment or spill file) is closed
+        and unlinked before the exception propagates. ``max_chunk_rows``
+        re-splits oversized incoming chunks (sources with native
+        batching, such as
         :class:`~repro.streaming.stream.GeneratorStream`, may deliver
         chunks larger than the requested size) so the coordinator's
         in-flight working set — and the recorded ``chunk_peak`` — stays
@@ -399,13 +504,25 @@ class MapReduceRuntime:
         """
         if max_chunk_rows is not None and max_chunk_rows < 1:
             raise InvalidParameterError("max_chunk_rows must be >= 1 (or None)")
-        shared = bool(getattr(self._backend, "uses_shared_memory", False))
+        if storage is not None and storage not in available_storage_tiers():
+            # Validated before any chunk is consumed: a typo'd tier must not
+            # cost a single-pass stream its first chunk.
+            raise InvalidParameterError(
+                f"unknown storage tier {storage!r}; available: "
+                f"{', '.join(available_storage_tiers())}"
+            )
+        dtype = np.dtype(dtype)
         hint = partition_size_hint
         if hint is None and router.n_total is not None:
             hint = max(1, -(-router.n_total // router.ell))  # ceil division
+        # The partition footprint can only be estimated once the first chunk
+        # reveals the dimension; until then the tier is undecided.
+        estimated_bytes: int | None = None
         buffers: list[PartitionBuffer] | None = None
         index_buffers: list[PartitionBuffer] | None = None
+        sealed: list[SharedArray] = []
         dimension: int | None = None
+        tier: str | None = None
         chunk_peak = 0
 
         def bounded_chunks():
@@ -428,17 +545,39 @@ class MapReduceRuntime:
                     continue
                 if buffers is None:
                     dimension = int(chunk.shape[1])
+                    if router.n_total is not None:
+                        row_bytes = dimension * dtype.itemsize
+                        if with_indices:
+                            row_bytes += np.dtype(np.intp).itemsize
+                        estimated_bytes = router.n_total * row_bytes
+                    tier = resolve_storage(
+                        storage if storage is not None else self._storage,
+                        backend=self._backend,
+                        estimated_bytes=estimated_bytes,
+                        memory_budget_bytes=self._memory_budget_bytes,
+                    )
+                    tier_spill_dir = (
+                        self._ensure_spill_dir(spill_dir) if tier == "disk" else None
+                    )
                     capacity = hint or max(1, m)
                     buffers = [
                         PartitionBuffer(
-                            dimension, dtype=dtype, shared=shared, initial_capacity=capacity
+                            dimension,
+                            dtype=dtype,
+                            storage=tier,
+                            initial_capacity=capacity,
+                            spill_dir=tier_spill_dir,
                         )
                         for _ in range(router.ell)
                     ]
                     if with_indices:
                         index_buffers = [
                             PartitionBuffer(
-                                None, dtype=np.intp, shared=shared, initial_capacity=capacity
+                                None,
+                                dtype=np.intp,
+                                storage=tier,
+                                initial_capacity=capacity,
+                                spill_dir=tier_spill_dir,
                             )
                             for _ in range(router.ell)
                         ]
@@ -465,35 +604,48 @@ class MapReduceRuntime:
                     start = stop
 
             if buffers is None:
-                raise InvalidParameterError("the stream delivered no points to shuffle")
+                raise EmptyStreamError("the stream delivered no points to shuffle")
             if router.n_total is not None and router.points_routed != router.n_total:
                 raise InvalidParameterError(
                     f"the stream delivered {router.points_routed} points but "
                     f"declared {router.n_total}"
                 )
+
+            spilled = sum(buffer.spilled_bytes for buffer in buffers)
+            parts = []
+            for buffer in buffers:
+                parts.append(buffer.finalize())
+                sealed.append(parts[-1])
+            index_parts: list | None = None
+            if index_buffers is not None:
+                spilled += sum(buffer.spilled_bytes for buffer in index_buffers)
+                index_parts = []
+                for buffer in index_buffers:
+                    index_parts.append(buffer.finalize())
+                    sealed.append(index_parts[-1])
         except BaseException:
             # A failure (or interrupt) mid-shuffle must not strand the
-            # partially-filled shared-memory segments until process exit.
+            # partially-filled shared segments / spill files — nor any
+            # partition already sealed when a later finalize fails —
+            # until process exit.
+            for handle in sealed:
+                handle.close()
             for buffer in (buffers or []) + (index_buffers or []):
                 buffer.close()
             raise
 
-        parts = [buffer.finalize() for buffer in buffers]
-        index_parts = (
-            None
-            if index_buffers is None
-            else [buffer.finalize() for buffer in index_buffers]
-        )
-        self._shared_arrays.extend(parts)
-        if index_parts is not None:
-            self._shared_arrays.extend(index_parts)
+        self._shared_arrays.extend(sealed)
         self.note_coordinator_items(chunk_peak)
+        self._stats.storage_tier = tier
+        self._stats.spilled_bytes += spilled
         return StreamShuffleResult(
             parts=parts,
             index_parts=index_parts,
             n_points=router.points_routed,
             dimension=dimension,
             chunk_peak=chunk_peak,
+            storage_tier=tier,
+            spilled_bytes=spilled,
         )
 
     def close(self) -> None:
@@ -507,6 +659,9 @@ class MapReduceRuntime:
         """
         while self._shared_arrays:
             self._shared_arrays.pop().close()
+        if self._own_spill_dir is not None:
+            spill_dir, self._own_spill_dir = self._own_spill_dir, None
+            shutil.rmtree(spill_dir, ignore_errors=True)
         if self._owns_backend:
             self._backend.close()
 
@@ -603,6 +758,8 @@ def shuffle_point_stream(
     partitioning: str,
     rng: np.random.Generator,
     chunk_size: int,
+    storage: str | None = None,
+    spill_dir: str | None = None,
 ) -> tuple[list[StreamedPartition], int, int]:
     """The drivers' shared out-of-core shuffle prologue.
 
@@ -613,14 +770,18 @@ def shuffle_point_stream(
     exactly like the in-memory ``split_*`` path (one variate for the
     random hash seed, nothing for the deterministic strategies) — and
     runs :meth:`MapReduceRuntime.shuffle_stream` with oversized native
-    batches re-split to ``chunk_size``.
+    batches re-split to ``chunk_size``, on the partition-storage tier
+    ``storage`` selects (``None`` defers to the runtime's default).
 
-    Returns ``(partitions, n_points, ell_used)``. Both MapReduce drivers
-    route through this single helper so the bit-identical-to-``fit``
-    guarantee cannot drift between them. Note the one caveat it cannot
-    remove: for unknown-length streams ``ell`` is used as given (the
-    in-memory path caps it at ``n``), so exact ``fit`` equivalence on
-    tiny inputs additionally needs ``ell <= n`` or a sized stream.
+    Returns ``(partitions, n_points, ell_used)``. A stream that declares
+    length 0 raises :class:`~repro.exceptions.EmptyStreamError`
+    deterministically, before any buffer is allocated. Both MapReduce
+    drivers route through this single helper so the
+    bit-identical-to-``fit`` guarantee cannot drift between them. Note
+    the one caveat it cannot remove: for unknown-length streams ``ell``
+    is used as given (the in-memory path caps it at ``n``), so exact
+    ``fit`` equivalence on tiny inputs additionally needs ``ell <= n``
+    or a sized stream.
     """
     if chunk_size < 1:
         raise InvalidParameterError("chunk_size must be >= 1")
@@ -630,6 +791,8 @@ def shuffle_point_stream(
         n_hint = len(stream)
     except TypeError:
         n_hint = None
+    if n_hint == 0:
+        raise EmptyStreamError("the stream declares length 0; nothing to shuffle")
     ell_used = ell if n_hint is None else min(ell, n_hint)
     if partitioning == "random":
         router = ChunkRouter(
@@ -638,7 +801,11 @@ def shuffle_point_stream(
     else:
         router = ChunkRouter(ell_used, partitioning, n_total=n_hint)
     shuffled = runtime.shuffle_stream(
-        stream.iterate_batches(chunk_size), router, max_chunk_rows=chunk_size
+        stream.iterate_batches(chunk_size),
+        router,
+        max_chunk_rows=chunk_size,
+        storage=storage,
+        spill_dir=spill_dir,
     )
     parts = [
         StreamedPartition(points, indices)

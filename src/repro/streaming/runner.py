@@ -30,9 +30,12 @@ drive path: the stream delivers chunks of (at most) that size via
 :meth:`~repro.streaming.stream.PointStream.iterate_batches` and the
 runner calls :meth:`~StreamingAlgorithm.process_batch` on each. With
 ``batch_size=None`` (the default) the classic per-point loop runs.
-Results are identical either way; only throughput and the granularity
-of working-memory sampling (per chunk instead of per point, so a
-mid-chunk peak between two samples can go unobserved) differ.
+Results are identical either way, and so is ``memory_limit``
+enforcement: checks run between points or between chunks, but both
+paths compare the solver-tracked
+:attr:`~StreamingAlgorithm.peak_working_memory_size`, so a transient
+peak *inside* a chunk (or between two sparse per-point samples) still
+trips the budget.
 """
 
 from __future__ import annotations
@@ -43,7 +46,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import MemoryBudgetExceededError, StreamingProtocolError
+from ..exceptions import (
+    EmptyStreamError,
+    MemoryBudgetExceededError,
+    StreamingProtocolError,
+)
 from .stream import PointStream
 
 __all__ = ["StreamingAlgorithm", "StreamingReport", "StreamingRunner"]
@@ -154,8 +161,10 @@ class StreamingRunner:
         most this many points and the algorithm consumes them through
         :meth:`StreamingAlgorithm.process_batch`. Working memory is then
         sampled once per chunk (at least every ``max(batch_size,
-        memory_check_interval)`` points), so the memory limit is enforced
-        at chunk granularity.
+        memory_check_interval)`` points); every sample — on either drive
+        path — compares the solver-tracked
+        :attr:`StreamingAlgorithm.peak_working_memory_size`, so a
+        mid-chunk peak above the limit is still caught.
     """
 
     def __init__(
@@ -179,7 +188,14 @@ class StreamingRunner:
         return self._batch_size
 
     def _check_memory(self, algorithm: StreamingAlgorithm, peak_memory: int) -> int:
-        memory = algorithm.working_memory_size
+        # Checks run between points (or between chunks on the batched
+        # path), so a transient peak inside one call could escape a
+        # current-size sample; comparing the solver-tracked
+        # peak_working_memory_size makes enforcement identical on both
+        # drive paths regardless of when the peak occurred.
+        memory = max(
+            algorithm.working_memory_size, algorithm.peak_working_memory_size
+        )
         if self._memory_limit is not None and memory > self._memory_limit:
             raise MemoryBudgetExceededError(
                 f"streaming working memory reached {memory} points, "
@@ -218,7 +234,15 @@ class StreamingRunner:
                         peak_memory = self._check_memory(algorithm, peak_memory)
                         next_check = points_in_pass + self._interval
             stream_time += time.perf_counter() - start
-            peak_memory = max(peak_memory, algorithm.peak_working_memory_size)
+            # One last check per pass so a spike inside the final chunk (or
+            # between two sparse per-point samples) cannot escape the budget.
+            peak_memory = self._check_memory(algorithm, peak_memory)
+
+        if points_in_pass == 0:
+            raise EmptyStreamError(
+                "the stream delivered no points; streaming algorithms need at "
+                "least one point to produce a result"
+            )
 
         finalize_start = time.perf_counter()
         result = algorithm.finalize()

@@ -183,14 +183,18 @@ class GeneratorStream(PointStream):
         given, ``len(stream)`` reports it (consumers that need the
         length up front — e.g. contiguous partitioning in the MapReduce
         out-of-core shuffle — can then use a single-pass source); the
-        shuffle verifies the actual delivery against it.
+        shuffle verifies the actual delivery against it. ``0`` declares
+        a legitimately empty stream — consumers that need at least one
+        point (``fit_stream``, the streaming runner) then fail fast
+        with :class:`~repro.exceptions.EmptyStreamError` instead of
+        erroring from deep inside finalisation.
     """
 
     def __init__(self, source: Iterable, *, length_hint: int | None = None) -> None:
         super().__init__(max_passes=1)
         self._source = source
-        if length_hint is not None and length_hint < 1:
-            raise StreamingProtocolError("length_hint must be >= 1 (or None)")
+        if length_hint is not None and length_hint < 0:
+            raise StreamingProtocolError("length_hint must be >= 0 (or None)")
         self._length_hint = length_hint
 
     def __len__(self) -> int:

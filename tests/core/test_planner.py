@@ -102,6 +102,70 @@ class TestPlanMapReduce:
             plan_mapreduce(1000, 5, doubling_dimension=-1)
 
 
+class TestPlanStorageTier:
+    def test_explicit_storage_passes_through(self):
+        plan = plan_mapreduce(
+            100_000, 10, doubling_dimension=2, streamed=True, storage="disk",
+            point_dimension=3,
+        )
+        assert plan.storage == "disk"
+        assert plan.predicted_spill_bytes == plan.partition_tier_bytes > 0
+
+    def test_auto_selects_backend_natural_tier(self):
+        shared = plan_mapreduce(
+            100_000, 10, doubling_dimension=2, backend="processes", streamed=True
+        )
+        assert shared.storage == "shared"
+        memory = plan_mapreduce(
+            100_000, 10, doubling_dimension=2, backend="serial", streamed=True
+        )
+        assert memory.storage == "memory"
+
+    def test_auto_spills_above_budget(self):
+        n, d = 100_000, 3
+        footprint = n * (d * 8 + 8)
+        plan = plan_mapreduce(
+            n, 10, doubling_dimension=2, streamed=True, point_dimension=d,
+            memory_budget_bytes=footprint // 2,
+        )
+        assert plan.partition_tier_bytes == footprint
+        assert plan.storage == "disk"
+        assert plan.predicted_spill_bytes == footprint
+
+    def test_auto_stays_in_memory_under_budget(self):
+        n, d = 100_000, 3
+        plan = plan_mapreduce(
+            n, 10, doubling_dimension=2, backend="serial", streamed=True,
+            point_dimension=d, memory_budget_bytes=10 * n * (d * 8 + 8),
+        )
+        assert plan.storage == "memory"
+        assert plan.predicted_spill_bytes == 0
+
+    def test_unknown_dimension_under_budget_spills_conservatively(self):
+        plan = plan_mapreduce(
+            100_000, 10, doubling_dimension=2, streamed=True,
+            memory_budget_bytes=1_000_000,
+        )
+        assert plan.partition_tier_bytes == 0
+        assert plan.storage == "disk"
+
+    def test_in_memory_path_has_no_index_column(self):
+        streamed = plan_mapreduce(
+            1000, 10, doubling_dimension=2, streamed=True, point_dimension=2
+        )
+        in_memory = plan_mapreduce(
+            1000, 10, doubling_dimension=2, streamed=False, point_dimension=2
+        )
+        assert streamed.partition_tier_bytes == 1000 * (2 * 8 + 8)
+        assert in_memory.partition_tier_bytes == 1000 * 2 * 8
+
+    def test_unknown_storage_rejected(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            plan_mapreduce(1000, 5, storage="tape")
+
+
 class TestPlanStreaming:
     def test_theorem3_formula(self):
         plan = plan_streaming(20, 200, epsilon=1.0, doubling_dimension=0)

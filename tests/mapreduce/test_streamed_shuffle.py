@@ -1,20 +1,23 @@
 """Unit tests for the out-of-core map/shuffle substrate.
 
 Covers the growable :class:`~repro.mapreduce.backends.PartitionBuffer`
-(heap and shared-memory flavours), the
+(on every storage tier), the
 :meth:`~repro.mapreduce.runtime.MapReduceRuntime.shuffle_stream` entry
-point on all three backends, and the coordinator-side memory accounting
-that the streamed path is designed to bound.
+point on all three backends x all three tiers, the coordinator-side
+memory accounting that the streamed path is designed to bound, and the
+no-orphans guarantee on mid-stream failures (no stranded ``/dev/shm``
+segments, no stranded spill files).
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 
 import numpy as np
 import pytest
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import EmptyStreamError, InvalidParameterError
 from repro.mapreduce import (
     ChunkRouter,
     MapReduceRuntime,
@@ -23,6 +26,15 @@ from repro.mapreduce import (
 )
 
 BACKENDS = ("serial", "threads", "processes")
+STORAGE_TIERS = ("memory", "shared", "disk")
+
+
+def _shm_entries() -> set:
+    """Names currently present in /dev/shm (POSIX shared-memory segments)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
 
 
 def _forward_mapper(key, value):
@@ -179,7 +191,7 @@ class TestShuffleStream:
 
     def test_empty_stream_rejected(self):
         with MapReduceRuntime() as runtime:
-            with pytest.raises(InvalidParameterError, match="no points"):
+            with pytest.raises(EmptyStreamError, match="no points"):
                 runtime.shuffle_stream(iter(()), ChunkRouter(2, "round_robin"))
 
     def test_underdelivery_rejected(self):
@@ -231,3 +243,279 @@ class TestShuffleStream:
         for name in segment_names:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
+
+
+class TestStorageTiers:
+    @pytest.mark.parametrize("storage", STORAGE_TIERS)
+    def test_partitions_reconstruct_input_on_every_tier(
+        self, storage, medium_blobs, tmp_path
+    ):
+        with MapReduceRuntime(spill_dir=str(tmp_path)) as runtime:
+            router = ChunkRouter(5, "round_robin")
+            result = runtime.shuffle_stream(
+                _chunks(medium_blobs, 97), router, storage=storage
+            )
+            assert result.storage_tier == storage
+            reconstructed = np.empty_like(medium_blobs)
+            for part, indices in zip(result.parts, result.index_parts):
+                reconstructed[indices.array] = part.array
+            np.testing.assert_array_equal(reconstructed, medium_blobs)
+
+    def test_disk_tier_spills_and_accounts_bytes(self, medium_blobs, tmp_path):
+        with MapReduceRuntime(spill_dir=str(tmp_path)) as runtime:
+            router = ChunkRouter(4, "round_robin")
+            result = runtime.shuffle_stream(
+                _chunks(medium_blobs, 128), router, storage="disk"
+            )
+            expected = medium_blobs.nbytes + medium_blobs.shape[0] * np.dtype(np.intp).itemsize
+            assert result.spilled_bytes == expected
+            assert runtime.stats.storage_tier == "disk"
+            assert runtime.stats.spilled_bytes == expected
+            # One .npy spill file per partition per column family.
+            assert len(list(tmp_path.glob("*.npy"))) == 2 * 4
+        # Runtime close deletes the spill files (the caller's dir survives).
+        assert list(tmp_path.glob("*.npy")) == []
+        assert tmp_path.exists()
+
+    def test_memory_tiers_record_zero_spill(self, medium_blobs):
+        with MapReduceRuntime() as runtime:
+            result = runtime.shuffle_stream(
+                _chunks(medium_blobs, 128), ChunkRouter(4, "round_robin"),
+                storage="memory",
+            )
+            assert result.spilled_bytes == 0
+            assert runtime.stats.storage_tier == "memory"
+            assert runtime.stats.spilled_bytes == 0
+
+    def test_disk_partitions_pickle_by_path(self, medium_blobs, tmp_path):
+        with MapReduceRuntime(spill_dir=str(tmp_path)) as runtime:
+            router = ChunkRouter(3, "round_robin")
+            result = runtime.shuffle_stream(
+                _chunks(medium_blobs, 100), router, storage="disk"
+            )
+            part = result.parts[0]
+            payload = pickle.dumps(part)
+            # The handle is a path, not the rows.
+            assert len(payload) < part.array.nbytes
+            attached = pickle.loads(payload)
+            np.testing.assert_array_equal(attached.array, part.array)
+            assert not attached.array.flags.writeable
+
+    def test_auto_spills_above_memory_budget(self, medium_blobs, tmp_path):
+        n = medium_blobs.shape[0]
+        with MapReduceRuntime(
+            spill_dir=str(tmp_path), memory_budget_bytes=medium_blobs.nbytes // 2
+        ) as runtime:
+            router = ChunkRouter(4, "contiguous", n_total=n)
+            result = runtime.shuffle_stream(_chunks(medium_blobs, 100), router)
+            assert result.storage_tier == "disk"
+            assert result.spilled_bytes > 0
+
+    def test_auto_without_budget_keeps_backend_pairing(self, medium_blobs):
+        with MapReduceRuntime(backend="serial") as runtime:
+            result = runtime.shuffle_stream(
+                _chunks(medium_blobs, 100), ChunkRouter(4, "round_robin")
+            )
+            assert result.storage_tier == "memory"
+        with MapReduceRuntime(backend="processes", max_workers=1) as runtime:
+            result = runtime.shuffle_stream(
+                _chunks(medium_blobs, 100), ChunkRouter(4, "round_robin")
+            )
+            assert result.storage_tier == "shared"
+
+    def test_auto_spills_for_unsized_stream_under_budget(self, medium_blobs, tmp_path):
+        # No length declared -> the footprint cannot be estimated -> spill.
+        with MapReduceRuntime(
+            spill_dir=str(tmp_path), memory_budget_bytes=10**9
+        ) as runtime:
+            result = runtime.shuffle_stream(
+                _chunks(medium_blobs, 100), ChunkRouter(4, "round_robin")
+            )
+            assert result.storage_tier == "disk"
+
+    def test_per_call_spill_dir_created_if_missing(self, medium_blobs, tmp_path):
+        target = tmp_path / "nested" / "spills"
+        with MapReduceRuntime() as runtime:
+            result = runtime.shuffle_stream(
+                _chunks(medium_blobs, 100), ChunkRouter(3, "round_robin"),
+                storage="disk", spill_dir=str(target),
+            )
+            assert result.storage_tier == "disk"
+            assert len(list(target.glob("*.npy"))) == 2 * 3
+        assert list(target.glob("*.npy")) == []
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(InvalidParameterError, match="storage tier"):
+            MapReduceRuntime(storage="tape")
+        with MapReduceRuntime() as runtime:
+            with pytest.raises(InvalidParameterError, match="storage tier"):
+                runtime.shuffle_stream(
+                    _chunks(np.zeros((4, 2)), 2), ChunkRouter(2, "round_robin"),
+                    storage="tape",
+                )
+
+    def test_unknown_tier_rejected_before_consuming_the_stream(self):
+        # A typo'd tier must not cost a single-pass source its first chunk.
+        chunks = iter([np.ones((4, 2))])
+        with MapReduceRuntime() as runtime:
+            with pytest.raises(InvalidParameterError, match="storage tier"):
+                runtime.shuffle_stream(
+                    chunks, ChunkRouter(2, "round_robin"), storage="dsik"
+                )
+        assert next(chunks).shape == (4, 2)
+
+
+class TestShuffleEdgeCases:
+    """Routing edge cases must behave identically on every storage tier."""
+
+    @pytest.mark.parametrize("storage", STORAGE_TIERS)
+    def test_final_chunk_smaller_than_batch(self, storage, medium_blobs, tmp_path):
+        # 600 points in chunks of 97: the last chunk has 18 rows.
+        assert medium_blobs.shape[0] % 97 != 0
+        with MapReduceRuntime(spill_dir=str(tmp_path)) as runtime:
+            result = runtime.shuffle_stream(
+                _chunks(medium_blobs, 97), ChunkRouter(4, "contiguous",
+                n_total=medium_blobs.shape[0]), storage=storage,
+            )
+            assert result.n_points == medium_blobs.shape[0]
+            np.testing.assert_array_equal(
+                np.concatenate([p.array for p in result.parts]), medium_blobs
+            )
+
+    @pytest.mark.parametrize("storage", STORAGE_TIERS)
+    def test_chunk_larger_than_initial_capacity_grows(
+        self, storage, medium_blobs, tmp_path
+    ):
+        # A tiny size hint forces every tier through its growth path on the
+        # very first append.
+        with MapReduceRuntime(spill_dir=str(tmp_path)) as runtime:
+            result = runtime.shuffle_stream(
+                _chunks(medium_blobs, 500), ChunkRouter(2, "round_robin"),
+                storage=storage, partition_size_hint=4,
+            )
+            reconstructed = np.empty_like(medium_blobs)
+            for part, indices in zip(result.parts, result.index_parts):
+                reconstructed[indices.array] = part.array
+            np.testing.assert_array_equal(reconstructed, medium_blobs)
+
+    @pytest.mark.parametrize("storage", STORAGE_TIERS)
+    def test_single_partition_ell_1(self, storage, medium_blobs, tmp_path):
+        with MapReduceRuntime(spill_dir=str(tmp_path)) as runtime:
+            result = runtime.shuffle_stream(
+                _chunks(medium_blobs, 128), ChunkRouter(1, "round_robin"),
+                storage=storage,
+            )
+            assert len(result.parts) == 1
+            np.testing.assert_array_equal(result.parts[0].array, medium_blobs)
+            np.testing.assert_array_equal(
+                result.index_parts[0].array, np.arange(medium_blobs.shape[0])
+            )
+
+    @pytest.mark.parametrize("storage", STORAGE_TIERS)
+    def test_dimension_mismatch_clear_error(self, storage, tmp_path):
+        def chunks():
+            yield np.zeros((5, 3))
+            yield np.zeros((5, 2))
+
+        with MapReduceRuntime(spill_dir=str(tmp_path)) as runtime:
+            with pytest.raises(InvalidParameterError, match="dimension 2, expected 3"):
+                runtime.shuffle_stream(
+                    chunks(), ChunkRouter(2, "round_robin"), storage=storage
+                )
+        # The failure released every partial buffer: no spill files remain.
+        assert list(tmp_path.glob("*.npy")) == []
+
+
+class TestNoOrphansOnFailure:
+    """Mid-stream failures must not strand segments or spill files."""
+
+    @staticmethod
+    def _failing_chunks(points, fail_after=2):
+        def chunks():
+            for index, start in enumerate(range(0, points.shape[0], 100)):
+                if index == fail_after:
+                    yield np.zeros((5, points.shape[1] + 1))  # dimension mismatch
+                yield points[start : start + 100]
+
+        return chunks()
+
+    def test_shared_tier_failure_leaves_no_shm_orphans(self, medium_blobs):
+        before = _shm_entries()
+        with MapReduceRuntime() as runtime:
+            with pytest.raises(InvalidParameterError):
+                runtime.shuffle_stream(
+                    self._failing_chunks(medium_blobs),
+                    ChunkRouter(3, "round_robin"),
+                    storage="shared",
+                )
+        assert _shm_entries() - before == set()
+
+    def test_disk_tier_failure_leaves_no_spill_files(self, medium_blobs, tmp_path):
+        with MapReduceRuntime(spill_dir=str(tmp_path)) as runtime:
+            with pytest.raises(InvalidParameterError):
+                runtime.shuffle_stream(
+                    self._failing_chunks(medium_blobs),
+                    ChunkRouter(3, "round_robin"),
+                    storage="disk",
+                )
+            # Released immediately on failure, before the runtime closes.
+            assert list(tmp_path.glob("*.npy")) == []
+
+    def test_overdelivery_failure_leaves_no_orphans(self, medium_blobs, tmp_path):
+        before = _shm_entries()
+        router = ChunkRouter(2, "contiguous", n_total=medium_blobs.shape[0] - 50)
+        with MapReduceRuntime(spill_dir=str(tmp_path)) as runtime:
+            with pytest.raises(InvalidParameterError, match="more than the declared"):
+                runtime.shuffle_stream(
+                    _chunks(medium_blobs, 100), router, storage="shared"
+                )
+        assert _shm_entries() - before == set()
+
+    def test_underdelivery_failure_leaves_no_spill_files(self, tmp_path):
+        router = ChunkRouter(2, "contiguous", n_total=100)
+        with MapReduceRuntime(spill_dir=str(tmp_path)) as runtime:
+            with pytest.raises(InvalidParameterError, match="declared"):
+                runtime.shuffle_stream(
+                    _chunks(np.zeros((60, 2)), 30), router, storage="disk"
+                )
+            assert list(tmp_path.glob("*.npy")) == []
+
+    def test_driver_fit_stream_failure_leaves_no_orphans(self, medium_blobs, tmp_path):
+        from repro.core import MapReduceKCenter
+        from repro.streaming import GeneratorStream
+
+        before = _shm_entries()
+        solver = MapReduceKCenter(
+            4, ell=4, coreset_multiplier=2, partitioning="round_robin", random_state=0
+        )
+        for storage in ("shared", "disk"):
+            with pytest.raises(InvalidParameterError):
+                solver.fit_stream(
+                    GeneratorStream(self._failing_chunks(medium_blobs)),
+                    chunk_size=100,
+                    storage=storage,
+                    spill_dir=str(tmp_path),
+                )
+        assert _shm_entries() - before == set()
+        assert list(tmp_path.glob("*.npy")) == []
+
+
+class TestEmptyStreams:
+    def test_zero_length_hint_fit_stream_raises_empty(self):
+        from repro.core import MapReduceKCenter
+        from repro.streaming import GeneratorStream
+
+        solver = MapReduceKCenter(3, ell=2, coreset_multiplier=2, random_state=0)
+        with pytest.raises(EmptyStreamError):
+            solver.fit_stream(GeneratorStream(iter(()), length_hint=0))
+
+    def test_unsized_empty_stream_fit_stream_raises_empty(self):
+        from repro.core import MapReduceKCenterOutliers
+        from repro.streaming import GeneratorStream
+
+        solver = MapReduceKCenterOutliers(
+            3, 2, ell=2, coreset_multiplier=2, partitioning="round_robin",
+            random_state=0,
+        )
+        with pytest.raises(EmptyStreamError):
+            solver.fit_stream(GeneratorStream(iter(())))

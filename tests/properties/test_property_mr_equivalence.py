@@ -4,16 +4,20 @@ The MapReduce counterpart of ``test_property_batch_equivalence``: for
 fixed seeds, the solvers must produce **bit-identical** centers, center
 indices, radii and outlier sets across
 
-* every executor backend (serial / threads / processes), and
+* every executor backend (serial / threads / processes),
+* every partition-storage tier (in-process memory / POSIX shared memory
+  / disk spill files), and
 * every drive path — the in-memory ``fit`` and the out-of-core
   ``fit_stream`` at several chunk sizes, fed from both an
   :class:`~repro.streaming.stream.ArrayStream` and a single-pass
   :class:`~repro.streaming.stream.GeneratorStream`.
 
-This is what lets the streamed shuffle (and the pooled backends) inherit
-the paper-faithfulness arguments of the serial in-memory reference, and
-it doubles as the acceptance check that the coordinator's working set is
-bounded by O(chunk + coreset) instead of O(n).
+This is what lets the streamed shuffle (and the pooled backends, and the
+spill-to-disk tier) inherit the paper-faithfulness arguments of the
+serial in-memory reference, and it doubles as the acceptance check that
+the coordinator's working set is bounded by O(chunk + coreset) instead
+of O(n) — including when the partitions spill past the shared-memory
+budget.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from repro.core import MapReduceKCenter, MapReduceKCenterOutliers
 from repro.streaming import ArrayStream, GeneratorStream
 
 BACKENDS = ("serial", "threads", "processes")
+STORAGE_TIERS = ("memory", "shared", "disk")
 CHUNK_SIZES = (64, 251, 4096)
 
 
@@ -157,3 +162,108 @@ class TestCoordinatorMemoryBound:
         streamed = _kcenter("serial").fit_stream(ArrayStream(points), chunk_size=100)
         assert in_memory.peak_working_memory_size >= points.shape[0]
         assert streamed.peak_working_memory_size < in_memory.peak_working_memory_size
+
+
+class TestStorageTierEquivalence:
+    """All three partition-storage tiers must be bit-identical to ``fit``."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("storage", STORAGE_TIERS)
+    def test_kcenter_every_tier_on_every_backend(self, dataset, backend, storage):
+        points = dataset.points
+        reference = _kcenter("serial").fit(points)
+        streamed = _kcenter(backend).fit_stream(
+            ArrayStream(points), chunk_size=251, storage=storage
+        )
+        assert streamed.stats.storage_tier == storage
+        np.testing.assert_array_equal(streamed.center_indices, reference.center_indices)
+        np.testing.assert_array_equal(streamed.centers, reference.centers)
+        assert streamed.radius == reference.radius
+        assert streamed.coreset_size == reference.coreset_size
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_kcenter_disk_tier_across_chunk_sizes(self, dataset, chunk_size):
+        points = dataset.points
+        reference = _kcenter("serial").fit(points)
+        streamed = _kcenter("serial").fit_stream(
+            ArrayStream(points), chunk_size=chunk_size, storage="disk"
+        )
+        np.testing.assert_array_equal(streamed.center_indices, reference.center_indices)
+        assert streamed.radius == reference.radius
+        assert streamed.stats.spilled_bytes > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_outliers_disk_tier_on_every_backend(self, dataset, backend):
+        points = dataset.points
+        reference = _outliers("serial").fit(points)
+        streamed = _outliers(backend).fit_stream(
+            ArrayStream(points), chunk_size=251, storage="disk"
+        )
+        assert streamed.stats.storage_tier == "disk"
+        np.testing.assert_array_equal(streamed.center_indices, reference.center_indices)
+        assert streamed.radius == reference.radius
+        assert streamed.radius_all_points == reference.radius_all_points
+        np.testing.assert_array_equal(
+            streamed.outlier_indices, reference.outlier_indices
+        )
+
+    @pytest.mark.parametrize("partitioning", ("contiguous", "round_robin", "random"))
+    def test_disk_tier_across_partitionings(self, dataset, partitioning):
+        points = dataset.points
+        solver = MapReduceKCenter(
+            6, ell=4, coreset_multiplier=3, partitioning=partitioning, random_state=9
+        )
+        in_memory = solver.fit(points)
+        streamed = solver.fit_stream(
+            ArrayStream(points), chunk_size=200, storage="disk"
+        )
+        np.testing.assert_array_equal(streamed.center_indices, in_memory.center_indices)
+        assert streamed.radius == in_memory.radius
+
+
+class TestAutoSpillAcceptance:
+    """The acceptance contract of the disk tier (ISSUE 4).
+
+    A dataset whose partition footprint exceeds the configured
+    shared-memory budget must complete under ``storage="auto"`` by
+    spilling (``spilled_bytes > 0``), bit-identically, while the
+    coordinator stays at O(chunk + union coreset).
+    """
+
+    def test_dataset_above_budget_completes_by_spilling(self, dataset):
+        points = dataset.points
+        chunk_size = 128
+        reference = _outliers("serial").fit(points)
+        # Budget far below the ~(n, d) float64 partition footprint.
+        budget = points.nbytes // 8
+        streamed = _outliers("serial").fit_stream(
+            ArrayStream(points),
+            chunk_size=chunk_size,
+            storage="auto",
+            memory_budget_bytes=budget,
+        )
+        assert streamed.stats.storage_tier == "disk"
+        assert streamed.stats.spilled_bytes > budget
+        np.testing.assert_array_equal(
+            streamed.center_indices, reference.center_indices
+        )
+        assert streamed.radius == reference.radius
+        np.testing.assert_array_equal(
+            streamed.outlier_indices, reference.outlier_indices
+        )
+        # The coordinator never held more than one chunk plus the union.
+        assert streamed.stats.coordinator_peak_items <= max(
+            chunk_size, streamed.coreset_size
+        )
+        assert streamed.stats.coordinator_peak_items < points.shape[0]
+
+    def test_generous_budget_stays_in_memory(self, dataset):
+        points = dataset.points
+        streamed = _kcenter("serial").fit_stream(
+            ArrayStream(points),
+            chunk_size=251,
+            storage="auto",
+            memory_budget_bytes=10 * points.nbytes,
+        )
+        assert streamed.stats.storage_tier == "memory"
+        assert streamed.stats.spilled_bytes == 0

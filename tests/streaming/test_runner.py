@@ -80,3 +80,81 @@ class TestStreamingRunner:
         runner = StreamingRunner(memory_check_interval=1000)
         report = runner.run(CollectEverything(), ArrayStream(small_blobs))
         assert report.peak_memory == small_blobs.shape[0]
+
+
+class SpikyBatchCompressor(StreamingAlgorithm):
+    """Buffers a whole chunk, then compresses to one point at chunk end.
+
+    Models solvers whose working set peaks *inside* ``process_batch``
+    (e.g. while holding a chunk plus the coreset before a merge): the
+    post-chunk ``working_memory_size`` is tiny, so only the tracked
+    ``peak_working_memory_size`` reveals the excursion.
+    """
+
+    def __init__(self) -> None:
+        self._pending: list[np.ndarray] = []
+        self._summary: np.ndarray | None = None
+        self._peak = 1
+
+    def process(self, point: np.ndarray) -> None:
+        self._pending.append(np.asarray(point))
+        self._peak = max(self._peak, self.working_memory_size)
+
+    def process_batch(self, batch: np.ndarray) -> None:
+        for point in np.atleast_2d(np.asarray(batch, dtype=np.float64)):
+            self.process(point)
+        # Compress: the mid-chunk peak disappears from the current size.
+        self._summary = np.mean(np.vstack(self._pending), axis=0)
+        self._pending = []
+
+    def finalize(self):
+        return self._summary
+
+    @property
+    def working_memory_size(self) -> int:
+        return len(self._pending) + (0 if self._summary is None else 1)
+
+    @property
+    def peak_working_memory_size(self) -> int:
+        return self._peak
+
+
+class TestBatchedMemoryEnforcement:
+    def test_mid_chunk_peak_trips_the_limit_on_the_batched_path(self, small_blobs):
+        # The peak (one full 50-point chunk) lives strictly inside
+        # process_batch; after each chunk the working set is 1 point.
+        runner = StreamingRunner(memory_limit=10, batch_size=50)
+        with pytest.raises(MemoryBudgetExceededError):
+            runner.run(SpikyBatchCompressor(), ArrayStream(small_blobs))
+
+    def test_mid_chunk_peak_matches_per_point_enforcement(self, small_blobs):
+        # The per-point path already caught this; batched must agree.
+        with pytest.raises(MemoryBudgetExceededError):
+            StreamingRunner(memory_limit=10).run(
+                SpikyBatchCompressor(), ArrayStream(small_blobs)
+            )
+
+    def test_batched_run_within_limit_reports_true_peak(self, small_blobs):
+        report = StreamingRunner(batch_size=50).run(
+            SpikyBatchCompressor(), ArrayStream(small_blobs)
+        )
+        # Chunks after the first hold 50 pending points plus the summary.
+        assert report.peak_memory == 51
+
+
+class TestEmptyStreams:
+    def test_empty_generator_stream_raises_deterministically(self):
+        from repro.exceptions import EmptyStreamError
+        from repro.streaming import GeneratorStream
+
+        with pytest.raises(EmptyStreamError):
+            StreamingRunner().run(CollectEverything(), GeneratorStream(iter(())))
+
+    def test_empty_stream_with_zero_length_hint_batched(self):
+        from repro.exceptions import EmptyStreamError
+        from repro.streaming import GeneratorStream
+
+        with pytest.raises(EmptyStreamError):
+            StreamingRunner(batch_size=32).run(
+                CollectEverything(), GeneratorStream(iter(()), length_hint=0)
+            )

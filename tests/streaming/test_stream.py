@@ -85,6 +85,11 @@ class TestGeneratorStream:
         with pytest.raises(TypeError):
             len(stream)
 
-    def test_invalid_length_hint_rejected(self):
+    def test_negative_length_hint_rejected(self):
         with pytest.raises(StreamingProtocolError):
-            GeneratorStream(iter([[1.0]]), length_hint=0)
+            GeneratorStream(iter([[1.0]]), length_hint=-1)
+
+    def test_zero_length_hint_is_a_legitimate_empty_stream(self):
+        stream = GeneratorStream(iter(()), length_hint=0)
+        assert len(stream) == 0
+        assert list(stream.iterate_pass()) == []

@@ -83,6 +83,47 @@ class TestMain:
         assert exit_code == 0
         assert "streamed" in capsys.readouterr().out
 
+    def test_solve_mr_kcenter_from_stream_disk_storage(self, capsys, tmp_path):
+        exit_code = main([
+            "solve", "mr-kcenter", "--dataset", "power",
+            "--n-points", "600", "--k", "5", "--ell", "2", "--mu", "2",
+            "--from-stream", "--chunk-size", "128",
+            "--storage", "disk", "--spill-dir", str(tmp_path),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "disk" in output
+        assert "spilled_bytes" in output
+        # Spill files are cleaned up after the run.
+        assert list(tmp_path.glob("*.npy")) == []
+
+    def test_solve_mr_outliers_from_stream_auto_spills_over_budget(self, capsys):
+        exit_code = main([
+            "solve", "mr-outliers", "--dataset", "higgs",
+            "--n-points", "600", "--k", "5", "--z", "10",
+            "--ell", "2", "--mu", "2", "--randomized",
+            "--from-stream", "--chunk-size", "100",
+            "--storage", "auto", "--memory-budget-mb", "0.001",
+        ])
+        assert exit_code == 0
+        assert "disk" in capsys.readouterr().out
+
+    def test_non_positive_memory_budget_rejected(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            main([
+                "solve", "mr-kcenter", "--dataset", "power",
+                "--n-points", "300", "--k", "5", "--ell", "2", "--mu", "2",
+                "--from-stream", "--memory-budget-mb", "-1",
+            ])
+
+    def test_storage_choices_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["solve", "mr-kcenter", "--from-stream", "--storage", "tape"]
+            )
+
     def test_from_stream_rejected_on_non_mr_commands(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(
