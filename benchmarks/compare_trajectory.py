@@ -1,0 +1,155 @@
+"""Compare benchmark trajectories across nightly runs and warn on regressions.
+
+The nightly workflow (``.github/workflows/nightly.yml``) runs the
+full-scale streaming and fig7-shuffle benchmarks, which write
+``BENCH_stream.json`` and ``BENCH_mapreduce.json``. This script diffs
+the throughput metrics (``points_per_sec``) of the current run against
+the previous run's archived files and reports any metric that dropped by
+more than the threshold (default 20%). It is intentionally
+*non-blocking*: wall-clock on shared runners is noisy, so a regression
+produces a GitHub ``::warning::`` annotation (and a non-zero exit only
+under ``--fail-on-regression``), never a red nightly on its own.
+
+Usage::
+
+    python benchmarks/compare_trajectory.py \
+        --previous bench-previous --current . --threshold 0.20
+
+A missing previous trajectory (the first nightly run, or an expired
+cache) is not an error: the script reports that there is no baseline and
+exits 0 so the current run can become the next baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Iterable
+
+#: The trajectory files a nightly run produces, relative to the run dir.
+TRAJECTORY_FILES = ("BENCH_stream.json", "BENCH_mapreduce.json")
+
+
+def extract_metrics(document: dict) -> dict[str, float]:
+    """Flatten one benchmark JSON into ``{metric_name: points_per_sec}``.
+
+    Metric names combine the benchmark name with each record's
+    identifying fields (backend, mode, storage, batch size), so the same
+    configuration lines up across runs regardless of record order.
+    """
+    benchmark = str(document.get("benchmark", "unknown"))
+    metrics: dict[str, float] = {}
+    for record in document.get("records", []):
+        if not isinstance(record, dict) or "points_per_sec" not in record:
+            continue
+        parts = [benchmark]
+        for field in ("backend", "mode", "storage", "batch_size"):
+            value = record.get(field)
+            if value not in (None, "n/a"):
+                parts.append(f"{field}={value}")
+        metrics["/".join(parts)] = float(record["points_per_sec"])
+    return metrics
+
+
+def load_metrics(directory: str) -> dict[str, float]:
+    """Union of the metrics of every trajectory file present in ``directory``."""
+    metrics: dict[str, float] = {}
+    for name in TRAJECTORY_FILES:
+        path = os.path.join(directory, name)
+        if not os.path.exists(path):
+            continue
+        with open(path) as handle:
+            metrics.update(extract_metrics(json.load(handle)))
+    return metrics
+
+
+def compare(
+    previous: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+) -> list[dict]:
+    """Diff two metric sets; a metric regressed when it lost > ``threshold``.
+
+    Only metrics present in both runs are compared (a renamed or new
+    benchmark has no baseline). Each row reports the previous and
+    current points/sec, the ratio, and whether it crossed the threshold.
+    """
+    rows = []
+    for name in sorted(set(previous) & set(current)):
+        before, after = previous[name], current[name]
+        ratio = after / before if before > 0 else float("inf")
+        rows.append({
+            "metric": name,
+            "previous": before,
+            "current": after,
+            "ratio": ratio,
+            "regressed": ratio < 1.0 - threshold,
+        })
+    return rows
+
+
+def format_report(rows: Iterable[dict]) -> str:
+    lines = [f"{'metric':<70} {'previous':>12} {'current':>12} {'ratio':>7}"]
+    for row in rows:
+        flag = "  << REGRESSED" if row["regressed"] else ""
+        lines.append(
+            f"{row['metric']:<70} {row['previous']:>12.1f} "
+            f"{row['current']:>12.1f} {row['ratio']:>7.2f}{flag}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--previous", required=True,
+        help="directory holding the previous run's BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--current", default=".",
+        help="directory holding the current run's BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="relative points/sec drop that counts as a regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when any metric regressed (default: warn only)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_metrics(args.current)
+    if not current:
+        print(f"no trajectory files found under {args.current!r}; nothing to compare")
+        return 0
+    previous = load_metrics(args.previous)
+    if not previous:
+        print(
+            f"no baseline under {args.previous!r} (first run or expired cache); "
+            f"the current trajectory becomes the next baseline"
+        )
+        return 0
+
+    rows = compare(previous, current, args.threshold)
+    if not rows:
+        print("no overlapping metrics between the two runs")
+        return 0
+    print(format_report(rows))
+    regressions = [row for row in rows if row["regressed"]]
+    for row in regressions:
+        # GitHub Actions warning annotation; visible even on a green job.
+        print(
+            f"::warning title=benchmark regression::{row['metric']} dropped to "
+            f"{row['ratio']:.0%} of the previous nightly "
+            f"({row['previous']:.0f} -> {row['current']:.0f} points/sec)"
+        )
+    if regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,9 @@ Two groups of subcommands are provided:
   quick experimentation without writing a script.
 * ``figure2`` … ``figure8`` and ``ablation-*`` — regenerate one of the
   paper's experiments at a configurable scale and print its result table.
+* ``worker`` — run a distributed MapReduce worker daemon that the
+  ``mr-*`` solvers can target with ``--backend distributed --workers
+  HOST:PORT[,HOST:PORT...]`` (see :mod:`repro.mapreduce.cluster`).
 
 Examples
 --------
@@ -16,6 +19,9 @@ Examples
         --k 20 --z 100 --ell 8 --mu 4 --randomized
     python -m repro figure2 --n-points 2000
     python -m repro figure8 --sample-size 1500
+    python -m repro worker --listen 127.0.0.1:7071  # then, elsewhere:
+    python -m repro solve mr-kcenter --backend distributed \
+        --workers 127.0.0.1:7071,127.0.0.1:7072
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from .core import (
     SequentialKCenterOutliers,
 )
 from .datasets import inject_outliers, load_paper_dataset, stream_paper_dataset
+from .exceptions import InvalidParameterError
 from .mapreduce import available_backends, available_storage_tiers
 from .streaming import ArrayStream, GeneratorStream, StreamingRunner
 from .evaluation import (
@@ -70,9 +77,33 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         help="executor backend for the MapReduce runtime (default: serial)",
     )
     parser.add_argument(
-        "--workers", type=int, default=None,
-        help="worker count for the threads/processes backends (default: one per CPU)",
+        "--workers", default=None,
+        help="worker count for the threads/processes backends (default: one "
+             "per CPU), or the comma-separated HOST:PORT daemon addresses "
+             "for --backend distributed (start daemons with 'repro worker')",
     )
+
+
+def _resolve_execution(args: argparse.Namespace) -> tuple[int | None, list[str] | None]:
+    """Split ``--workers`` into a pool size or distributed daemon addresses."""
+    spec = getattr(args, "workers", None)
+    backend = getattr(args, "backend", None)
+    if backend == "distributed":
+        if not spec:
+            raise InvalidParameterError(
+                "--backend distributed requires --workers HOST:PORT[,HOST:PORT...]"
+            )
+        return None, [part.strip() for part in str(spec).split(",") if part.strip()]
+    if spec is None:
+        return None, None
+    try:
+        return int(spec), None
+    except ValueError:
+        raise InvalidParameterError(
+            f"--workers must be an integer count for backend "
+            f"{backend or 'serial'}; got {spec!r} (worker addresses "
+            f"require --backend distributed)"
+        ) from None
 
 
 def _add_stream_arguments(parser: argparse.ArgumentParser) -> None:
@@ -144,10 +175,11 @@ def _solve(args: argparse.Namespace) -> int:
         print(format_records(rows))
         return 0
 
+    max_workers, worker_addresses = _resolve_execution(args)
     if args.command == "mr-kcenter":
         solver = MapReduceKCenter(
             args.k, ell=args.ell, coreset_multiplier=args.mu, random_state=args.seed,
-            backend=args.backend, max_workers=args.workers,
+            backend=args.backend, max_workers=max_workers, workers=worker_addresses,
         )
         result = solver.fit(points)
         rows = [{
@@ -161,7 +193,7 @@ def _solve(args: argparse.Namespace) -> int:
         solver = MapReduceKCenterOutliers(
             args.k, args.z, ell=args.ell, coreset_multiplier=args.mu,
             randomized=args.randomized, include_log_term=False, random_state=args.seed,
-            backend=args.backend, max_workers=args.workers,
+            backend=args.backend, max_workers=max_workers, workers=worker_addresses,
         )
         result = solver.fit(points)
         rows = [{
@@ -245,10 +277,11 @@ def _solve_from_stream(args: argparse.Namespace) -> int:
             else int(args.memory_budget_mb * 1024 * 1024)
         ),
     )
+    max_workers, worker_addresses = _resolve_execution(args)
     if args.command == "mr-kcenter":
         solver = MapReduceKCenter(
             args.k, ell=args.ell, coreset_multiplier=args.mu, random_state=args.seed,
-            backend=args.backend, max_workers=args.workers,
+            backend=args.backend, max_workers=max_workers, workers=worker_addresses,
         )
         result = solver.fit_stream(stream, chunk_size=args.chunk_size, **storage_kwargs)
         row = {"algorithm": "MapReduceKCenter (streamed)"}
@@ -256,7 +289,7 @@ def _solve_from_stream(args: argparse.Namespace) -> int:
         solver = MapReduceKCenterOutliers(
             args.k, args.z, ell=args.ell, coreset_multiplier=args.mu,
             randomized=args.randomized, include_log_term=False, random_state=args.seed,
-            backend=args.backend, max_workers=args.workers,
+            backend=args.backend, max_workers=max_workers, workers=worker_addresses,
         )
         result = solver.fit_stream(stream, chunk_size=args.chunk_size, **storage_kwargs)
         row = {"algorithm": "MapReduceKCenterOutliers (streamed)"}
@@ -296,9 +329,15 @@ def _run_figure(args: argparse.Namespace) -> int:
     elif figure == "figure6":
         records = figure6_scaling_size(datasets, k=args.k, z=args.z, random_state=args.seed)
     elif figure == "figure7":
+        max_workers, worker_addresses = _resolve_execution(args)
+        if worker_addresses is not None:
+            raise InvalidParameterError(
+                "figure7 sweeps the single-host backends; run the distributed "
+                "backend through 'repro solve mr-kcenter --backend distributed'"
+            )
         records = figure7_scaling_processors(
             datasets, k=args.k, z=args.z, backend=args.backend,
-            max_workers=args.workers, random_state=args.seed,
+            max_workers=max_workers, random_state=args.seed,
         )
     elif figure == "figure8":
         records = figure8_sequential(
@@ -314,6 +353,13 @@ def _run_figure(args: argparse.Namespace) -> int:
         )
     print(format_records(records))
     return 0
+
+
+def _worker(args: argparse.Namespace) -> int:
+    """Run a distributed MapReduce worker daemon until interrupted."""
+    from .mapreduce.worker import serve
+
+    return serve(args.listen, spill_dir=args.spill_dir)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -344,6 +390,22 @@ def build_parser() -> argparse.ArgumentParser:
         if name.startswith("stream-"):
             _add_batch_size_argument(sub)
         sub.set_defaults(handler=_solve)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="run a distributed MapReduce worker daemon (for --backend distributed)",
+    )
+    worker.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="address to listen on (port 0 picks a free port; the bound "
+             "address is printed on startup)",
+    )
+    worker.add_argument(
+        "--spill-dir", default=None,
+        help="directory for spill files received from coordinators "
+             "(default: a worker-owned temporary directory)",
+    )
+    worker.set_defaults(handler=_worker)
 
     figure_names = (
         "figure2", "figure3", "figure4", "figure5", "figure6", "figure7", "figure8",

@@ -337,9 +337,15 @@ class MapReduceKCenter:
         up front.
     backend:
         Executor backend for the runtime: ``"serial"``, ``"threads"``,
-        ``"processes"``, an instance, or ``None`` (threads when
-        ``max_workers`` > 1, serial otherwise). All backends produce
-        identical centers, radii and accounting, modulo timings.
+        ``"processes"``, ``"distributed"``, an instance, or ``None``
+        (threads when ``max_workers`` > 1, distributed when ``workers``
+        is given, serial otherwise). All backends produce identical
+        centers, radii and accounting, modulo timings.
+    workers:
+        Worker daemon addresses (``["host:port", ...]``) for the
+        distributed backend — see the "Distributed backend" section of
+        the :mod:`repro.mapreduce.runtime` docstring. Each daemon is
+        started with ``repro worker --listen HOST:PORT``.
 
     Examples
     --------
@@ -364,6 +370,7 @@ class MapReduceKCenter:
         local_memory_limit: int | None = None,
         max_workers: int | None = None,
         backend: str | ExecutorBackend | None = None,
+        workers=None,
     ) -> None:
         self.k = check_positive_int(k, name="k")
         self.ell = check_positive_int(ell, name="ell")
@@ -387,6 +394,7 @@ class MapReduceKCenter:
             max_workers = check_positive_int(max_workers, name="max_workers")
         self.max_workers = max_workers
         self.backend = backend
+        self.workers = None if workers is None else list(workers)
 
     # -- helpers -----------------------------------------------------------------------
 
@@ -445,6 +453,7 @@ class MapReduceKCenter:
             local_memory_limit=self.local_memory_limit,
             max_workers=self.max_workers,
             backend=self.backend,
+            workers=self.workers,
         ) as runtime:
             shared_pts = runtime.share_array(pts)
             first_round_reducer = partial(
@@ -546,6 +555,7 @@ class MapReduceKCenter:
             local_memory_limit=self.local_memory_limit,
             max_workers=self.max_workers,
             backend=self.backend,
+            workers=self.workers,
             storage=storage,
             spill_dir=spill_dir,
             memory_budget_bytes=memory_budget_bytes,

@@ -301,8 +301,9 @@ class MapReduceKCenterOutliers:
         Whether ``z'`` includes the ``log2 |S|`` term of Lemma 7 (the
         paper's experiments drop it; theory keeps it). Only relevant for
         the randomized variant.
-    metric, random_state, local_memory_limit, max_workers, backend:
-        As in :class:`~repro.core.mr_kcenter.MapReduceKCenter`.
+    metric, random_state, local_memory_limit, max_workers, backend, workers:
+        As in :class:`~repro.core.mr_kcenter.MapReduceKCenter`
+        (``workers`` are the distributed backend's daemon addresses).
     """
 
     def __init__(
@@ -323,6 +324,7 @@ class MapReduceKCenterOutliers:
         local_memory_limit: int | None = None,
         max_workers: int | None = None,
         backend: str | ExecutorBackend | None = None,
+        workers=None,
     ) -> None:
         self.k = check_positive_int(k, name="k")
         self.z = check_non_negative_int(z, name="z")
@@ -364,6 +366,7 @@ class MapReduceKCenterOutliers:
             max_workers = check_positive_int(max_workers, name="max_workers")
         self.max_workers = max_workers
         self.backend = backend
+        self.workers = None if workers is None else list(workers)
 
     # -- helpers -----------------------------------------------------------------------
 
@@ -435,6 +438,7 @@ class MapReduceKCenterOutliers:
             local_memory_limit=self.local_memory_limit,
             max_workers=self.max_workers,
             backend=self.backend,
+            workers=self.workers,
         ) as runtime:
             shared_pts = runtime.share_array(pts)
             first_round_reducer = partial(
@@ -554,6 +558,7 @@ class MapReduceKCenterOutliers:
             local_memory_limit=self.local_memory_limit,
             max_workers=self.max_workers,
             backend=self.backend,
+            workers=self.workers,
             storage=storage,
             spill_dir=spill_dir,
             memory_budget_bytes=memory_budget_bytes,

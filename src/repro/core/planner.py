@@ -70,12 +70,18 @@ class MapReducePlan:
     variant:
         ``"kcenter"``, ``"outliers"`` or ``"outliers-randomized"``.
     backend:
-        Executor backend the plan targets (``"serial"``, ``"threads"``
-        or ``"processes"``).
+        Executor backend the plan targets (``"serial"``, ``"threads"``,
+        ``"processes"`` or ``"distributed"``).
     suggested_workers:
         Worker count to pass to the runtime for that backend: 1 for the
-        serial reference, otherwise ``min(ell, cpu_count)`` — more
-        workers than round-1 reducers can never help.
+        serial reference, the cluster size for the distributed backend,
+        otherwise ``min(ell, cpu_count)`` — more workers than round-1
+        reducers can never help.
+    partitions_per_worker:
+        Round-1 reduce groups each worker executes under the suggested
+        sizing (``ceil(ell / suggested_workers)``); the round's parallel
+        time scales with this factor, so a distributed plan shows
+        directly what another worker daemon would buy.
     streamed:
         Whether the plan targets the out-of-core drive path
         (``fit_stream``); chunked ingestion keeps the coordinator's
@@ -112,6 +118,7 @@ class MapReducePlan:
     variant: str
     backend: str = "serial"
     suggested_workers: int = 1
+    partitions_per_worker: int = 1
     streamed: bool = False
     chunk_size: int = 4096
     coordinator_memory: int = 0
@@ -170,6 +177,7 @@ def plan_mapreduce(
     sample=None,
     random_state=None,
     backend: str | None = None,
+    workers=None,
     streamed: bool = False,
     chunk_size: int = 4096,
     storage: str | None = None,
@@ -200,8 +208,16 @@ def plan_mapreduce(
     backend:
         Executor backend to plan for (one of
         :func:`repro.mapreduce.available_backends`). ``None`` picks
-        ``"processes"`` on multi-core machines and ``"serial"``
-        otherwise; the plan's ``suggested_workers`` is sized accordingly.
+        ``"distributed"`` when ``workers`` is given, ``"processes"`` on
+        multi-core machines and ``"serial"`` otherwise; the plan's
+        ``suggested_workers`` is sized accordingly.
+    workers:
+        Distributed cluster size: an integer worker-daemon count or the
+        list of their addresses. Selects ``backend="distributed"`` when
+        no backend is named, sizes ``suggested_workers`` to the cluster,
+        and makes ``partitions_per_worker`` the per-daemon round-1 load.
+        Required when ``backend="distributed"`` is named explicitly —
+        the local CPU count says nothing about a remote cluster.
     streamed:
         Plan the out-of-core drive path (``fit_stream`` with chunked
         ingestion) instead of the in-memory one. The predicted
@@ -235,11 +251,27 @@ def plan_mapreduce(
     if practical_multiplier < 1:
         raise ValueError("practical_multiplier must be >= 1")
     cpus = os.cpu_count() or 1
+    n_workers: int | None = None
+    if workers is not None:
+        if isinstance(workers, int):
+            n_workers = check_positive_int(workers, name="workers")
+        else:
+            n_workers = len(list(workers))
+            if n_workers < 1:
+                raise InvalidParameterError("workers must name at least one daemon")
+        if backend is None:
+            backend = "distributed"
     if backend is None:
         backend = "processes" if cpus > 1 else "serial"
     elif backend not in available_backends():
         raise InvalidParameterError(
             f"unknown backend {backend!r}; available: {', '.join(available_backends())}"
+        )
+    if backend == "distributed" and n_workers is None:
+        # The local cpu_count says nothing about a remote cluster's size;
+        # refusing beats fabricating a worker count the plan cannot run with.
+        raise InvalidParameterError(
+            "a distributed plan needs workers= (a daemon count or address list)"
         )
     dimension = _resolve_dimension(doubling_dimension, sample, random_state)
 
@@ -294,6 +326,13 @@ def plan_mapreduce(
         )
     predicted_spill = partition_tier_bytes if (streamed and storage == "disk") else 0
 
+    if backend == "serial":
+        suggested_workers = 1
+    elif backend == "distributed":
+        suggested_workers = max(1, min(ell, n_workers))
+    else:
+        suggested_workers = max(1, min(ell, cpus))
+
     return MapReducePlan(
         ell=ell,
         per_partition_points=per_partition,
@@ -304,7 +343,8 @@ def plan_mapreduce(
         doubling_dimension=dimension,
         variant=variant,
         backend=backend,
-        suggested_workers=1 if backend == "serial" else max(1, min(ell, cpus)),
+        suggested_workers=suggested_workers,
+        partitions_per_worker=-(-ell // suggested_workers),
         streamed=bool(streamed),
         chunk_size=chunk_size,
         coordinator_memory=coordinator_memory,

@@ -67,5 +67,28 @@ class RadiusSearchError(ReproError, RuntimeError):
     """
 
 
+class ClusterError(ReproError, RuntimeError):
+    """Base class for failures of the distributed (multi-host) backend."""
+
+
+class WorkerUnavailableError(ClusterError):
+    """No worker is left to run a reduce task.
+
+    Raised by :class:`repro.mapreduce.cluster.DistributedBackend` when
+    every configured worker has failed (unreachable at connect, or a
+    transport error mid-job) and tasks remain unassigned. The message
+    lists the last failure observed per worker.
+    """
+
+
+class WorkerTaskError(ClusterError):
+    """A reducer raised an exception while running on a remote worker.
+
+    Unlike a transport failure, an application error is deterministic —
+    the same reducer would raise on any worker — so the backend does not
+    retry it; the remote traceback travels back in the message.
+    """
+
+
 class NotFittedError(ReproError, RuntimeError):
     """A model/solver was queried for results before being run."""

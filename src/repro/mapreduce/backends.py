@@ -90,6 +90,7 @@ __all__ = [
     "available_storage_tiers",
     "resolve_backend",
     "resolve_storage",
+    "set_spill_path_resolver",
 ]
 
 
@@ -176,14 +177,36 @@ def _attach_shared_array(meta: tuple[str, tuple, str]) -> "SharedArray":
     return SharedArray(cached[1], meta=meta)
 
 
+_SPILL_PATH_RESOLVER = None
+"""Optional hook translating spill paths at attach time.
+
+Distributed workers receive disk-tier spill files pushed by value (see
+:mod:`repro.mapreduce.worker`) and store them under their own spill
+directory; the hook maps the coordinator-side path carried by a pickled
+handle to the worker-local copy. ``None`` (the default everywhere except
+inside a worker) leaves paths untouched.
+"""
+
+
+def set_spill_path_resolver(resolver) -> None:
+    """Install ``resolver`` (a ``path -> path`` callable, or ``None``) globally."""
+    global _SPILL_PATH_RESOLVER
+    _SPILL_PATH_RESOLVER = resolver
+
+
 def _attach_spilled_array(meta: tuple[str, tuple, str]) -> "SharedArray":
     """Reconstruct a spilled :class:`SharedArray` in a worker process by path.
 
     The worker memory-maps the ``.npy`` spill file read-only; nothing is
     copied and the attached handle never owns (so never unlinks) the
-    file — the coordinator's sealed handle does.
+    file — the coordinator's sealed handle does. On a distributed worker
+    the path is first translated to the locally-received copy of the
+    pushed file (see :func:`set_spill_path_resolver`).
     """
-    return SharedArray.from_spill_file(*meta)
+    path, shape, dtype = meta
+    if _SPILL_PATH_RESOLVER is not None:
+        path = _SPILL_PATH_RESOLVER(path)
+    return SharedArray.from_spill_file(path, shape, dtype)
 
 
 def _rebuild_by_value(array: np.ndarray) -> "SharedArray":
@@ -872,6 +895,10 @@ _BACKENDS = {
     "processes": ProcessBackend,
 }
 
+#: Registered lazily in :func:`resolve_backend` (the implementation lives
+#: in :mod:`repro.mapreduce.cluster`, which imports this module).
+_DISTRIBUTED = "distributed"
+
 
 def _check_workers(max_workers: int | None) -> int:
     if max_workers is None:
@@ -883,31 +910,62 @@ def _check_workers(max_workers: int | None) -> int:
 
 def available_backends() -> tuple[str, ...]:
     """Names accepted by :func:`resolve_backend` (and the ``backend=`` knobs)."""
-    return tuple(sorted(_BACKENDS))
+    return tuple(sorted((*_BACKENDS, _DISTRIBUTED)))
 
 
 def resolve_backend(
-    backend: str | ExecutorBackend | None = None, *, max_workers: int | None = None
+    backend: str | ExecutorBackend | None = None,
+    *,
+    max_workers: int | None = None,
+    workers=None,
 ) -> ExecutorBackend:
     """Turn a backend name (or ``None``, or a ready instance) into a backend.
 
     ``None`` preserves the runtime's historical behavior: a thread pool
-    when ``max_workers`` > 1, the serial reference otherwise. Strings are
-    looked up among :func:`available_backends`; for ``"threads"`` and
-    ``"processes"`` a ``max_workers`` of ``None`` means one worker per CPU.
+    when ``max_workers`` > 1, the serial reference otherwise — unless
+    ``workers`` (a sequence of ``host:port`` addresses) is given, which
+    selects the distributed backend. Strings are looked up among
+    :func:`available_backends`; for ``"threads"`` and ``"processes"`` a
+    ``max_workers`` of ``None`` means one worker per CPU, and
+    ``"distributed"`` requires ``workers``.
     """
+    if backend is None and workers is not None:
+        backend = _DISTRIBUTED
     if backend is None:
         if max_workers is not None and max_workers > 1:
             return ThreadBackend(max_workers)
         return SerialBackend()
     if not isinstance(backend, str):
+        if workers is not None:
+            raise InvalidParameterError(
+                "workers= addresses only apply to the 'distributed' backend name; "
+                "configure the backend instance directly instead"
+            )
         if isinstance(backend, ExecutorBackend):
             return backend
         raise InvalidParameterError(
             f"backend must be a string or an ExecutorBackend; got {backend!r}"
         )
+    name = backend.lower()
+    if name == _DISTRIBUTED:
+        from .cluster import DistributedBackend
+
+        if workers is None:
+            raise InvalidParameterError(
+                "the distributed backend requires worker addresses "
+                "(workers=['host:port', ...]); start daemons with "
+                "'repro worker --listen HOST:PORT'"
+            )
+        if max_workers is not None:
+            _check_workers(max_workers)  # validated, but the address list rules
+        return DistributedBackend(workers)
+    if workers is not None:
+        raise InvalidParameterError(
+            f"workers= addresses only apply to the 'distributed' backend; "
+            f"got backend={backend!r} (use max_workers= for pool sizes)"
+        )
     try:
-        factory = _BACKENDS[backend.lower()]
+        factory = _BACKENDS[name]
     except KeyError:
         raise InvalidParameterError(
             f"unknown backend {backend!r}; available: {', '.join(available_backends())}"

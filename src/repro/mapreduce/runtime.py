@@ -32,6 +32,41 @@ then is the reduce phase handed to an
   be published once via :meth:`MapReduceRuntime.share_array`, which under
   this backend places them in POSIX shared memory so tasks reference them
   by name instead of copying them.
+* ``backend="distributed"`` — reducers run on remote worker daemons over
+  TCP (see the "Distributed backend" section below).
+
+Distributed backend
+-------------------
+``backend="distributed"`` plus ``workers=["host:port", ...]`` hands the
+reduce phase to a set of worker daemons, each started with ``repro
+worker --listen HOST:PORT`` (or ``python -m repro.mapreduce.worker``) —
+the first backend that scales past a single machine. The coordinator
+speaks a length-prefixed TCP protocol (a 1-byte opcode plus an 8-byte
+big-endian payload length per frame; the opcodes are documented in
+:mod:`repro.mapreduce.worker`): per round it ships the pickled reducer
+once per worker, then one TASK frame per reduce group, and collects the
+pickled ``(outputs, elapsed)`` results. Placement is round-robin — the
+group at position ``i`` (the partition index, for the shuffle rounds)
+goes to worker ``i mod W`` — a pure function of the partition index, so
+which worker computes what is as deterministic as the shuffle routing
+itself.
+
+Partition payloads travel by storage tier: memory-tier partitions (the
+default under this backend) pickle their rows by value inside the task;
+disk-tier spill files are pushed once per worker as raw ``.npy`` bytes
+and re-opened remotely as read-only memmaps, so a file is shipped at
+most once per worker however many rounds reference it. A worker that
+dies mid-job (refused connection, reset, truncated frame) has its
+unfinished groups requeued round-robin onto the surviving workers —
+reducers are pure, so the retried job is bit-identical — and
+:attr:`JobStats.worker_assignments` records every attempt while
+:attr:`JobStats.bytes_shipped` totals the payload bytes that crossed
+the wire. All randomness is drawn in the coordinator before dispatch,
+so the distributed drivers agree bit-for-bit with the serial reference;
+the equivalence matrix in
+``tests/properties/test_property_distributed_equivalence.py`` enforces
+this against an in-process loopback
+:class:`~repro.mapreduce.cluster.LocalCluster`.
 
 Rule of thumb: ``threads`` wins when reducers are thin wrappers around
 vectorised NumPy calls and payloads are large (zero serialisation);
@@ -241,6 +276,14 @@ class JobStats:
     #: Bytes of partition data written to spill files (0 unless the
     #: ``"disk"`` tier ran).
     spilled_bytes: int = 0
+    #: One dict per round executed on the distributed backend, mapping
+    #: each reduce key to the worker addresses attempted in order (a
+    #: list longer than one records a retry after a worker failure).
+    #: Empty for the single-host backends.
+    worker_assignments: list = field(default_factory=list)
+    #: Total payload bytes shipped to distributed workers (reducers,
+    #: pushed spill files and task payloads); 0 for single-host backends.
+    bytes_shipped: int = 0
 
     @property
     def n_rounds(self) -> int:
@@ -354,15 +397,22 @@ class MapReduceRuntime:
         default (backend-less) configuration and one worker per CPU when
         an explicit ``"threads"``/``"processes"`` backend is named.
     backend:
-        ``"serial"``, ``"threads"``, ``"processes"``, an
-        :class:`~repro.mapreduce.backends.ExecutorBackend` instance, or
-        ``None`` (historical behavior: threads when ``max_workers`` > 1,
-        serial otherwise). See the module docstring for when each backend
-        wins. Reducers must not share mutable state unsafely on the
-        pooled backends, and must be picklable for ``"processes"``.
-        Backends named by string are owned and closed by the runtime;
-        an instance passed in stays open across :meth:`close` so its
-        pool can be reused, and is closed by the caller.
+        ``"serial"``, ``"threads"``, ``"processes"``, ``"distributed"``,
+        an :class:`~repro.mapreduce.backends.ExecutorBackend` instance,
+        or ``None`` (historical behavior: threads when ``max_workers``
+        > 1, serial otherwise — or distributed when ``workers`` is
+        given). See the module docstring for when each backend wins.
+        Reducers must not share mutable state unsafely on the pooled
+        backends, and must be picklable for ``"processes"`` and
+        ``"distributed"``. Backends named by string are owned and closed
+        by the runtime; an instance passed in stays open across
+        :meth:`close` so its pool can be reused, and is closed by the
+        caller.
+    workers:
+        Worker daemon addresses (``["host:port", ...]``) for the
+        distributed backend; selects ``backend="distributed"`` when no
+        backend is named. See the "Distributed backend" section of the
+        module docstring.
     storage:
         Partition-storage tier for :meth:`shuffle_stream`: ``"auto"``
         (default), ``"memory"``, ``"shared"`` or ``"disk"``. See the
@@ -398,6 +448,7 @@ class MapReduceRuntime:
         sizeof: Callable[[object], int] = default_sizeof,
         max_workers: int | None = None,
         backend: str | ExecutorBackend | None = None,
+        workers=None,
         storage: str = "auto",
         spill_dir: str | None = None,
         memory_budget_bytes: int | None = None,
@@ -419,7 +470,7 @@ class MapReduceRuntime:
         # owned and closed, by this runtime; instances passed in belong to
         # the caller, whose pool must survive (and be reusable after) close().
         self._owns_backend = backend is None or isinstance(backend, str)
-        self._backend = resolve_backend(backend, max_workers=max_workers)
+        self._backend = resolve_backend(backend, max_workers=max_workers, workers=workers)
         self._storage = storage
         self._spill_dir = spill_dir
         self._own_spill_dir: str | None = None
@@ -734,6 +785,14 @@ class MapReduceRuntime:
             produced, elapsed = results[key]
             outputs.extend(produced)
             stats.reducer_times[key] = elapsed
+
+        # Distributed rounds additionally report where each group ran and
+        # how many payload bytes crossed the wire; see JobStats.
+        take_accounting = getattr(self._backend, "take_round_accounting", None)
+        if take_accounting is not None:
+            assignments, shipped = take_accounting()
+            self._stats.worker_assignments.append(assignments)
+            self._stats.bytes_shipped += shipped
 
         self._stats.rounds.append(stats)
         return outputs

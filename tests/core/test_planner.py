@@ -166,6 +166,55 @@ class TestPlanStorageTier:
             plan_mapreduce(1000, 5, storage="tape")
 
 
+class TestPlanDistributed:
+    def test_workers_select_distributed_backend(self):
+        plan = plan_mapreduce(100_000, 10, doubling_dimension=2, workers=4)
+        assert plan.backend == "distributed"
+        assert plan.suggested_workers == min(4, plan.ell)
+        assert plan.partitions_per_worker == -(-plan.ell // plan.suggested_workers)
+
+    def test_worker_addresses_counted(self):
+        plan = plan_mapreduce(
+            100_000, 10, doubling_dimension=2,
+            workers=["h1:7071", "h2:7071", "h3:7071"],
+        )
+        assert plan.backend == "distributed"
+        assert plan.suggested_workers == min(3, plan.ell)
+
+    def test_distributed_auto_storage_is_memory_tier(self):
+        # Distributed workers cannot attach the coordinator's /dev/shm:
+        # the auto tier must be by-value memory, not shared.
+        plan = plan_mapreduce(
+            100_000, 10, doubling_dimension=2, workers=2, streamed=True,
+            point_dimension=4,
+        )
+        assert plan.storage == "memory"
+
+    def test_explicit_backend_kept_alongside_workers(self):
+        plan = plan_mapreduce(
+            100_000, 10, doubling_dimension=2, backend="distributed", workers=8
+        )
+        assert plan.backend == "distributed"
+
+    def test_empty_worker_list_rejected(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            plan_mapreduce(1000, 5, workers=[])
+
+    def test_distributed_backend_requires_workers(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="workers="):
+            plan_mapreduce(1000, 5, backend="distributed")
+
+    def test_non_positive_worker_count_rejected(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            plan_mapreduce(1000, 5, workers=0)
+
+
 class TestPlanStreaming:
     def test_theorem3_formula(self):
         plan = plan_streaming(20, 200, epsilon=1.0, doubling_dimension=0)

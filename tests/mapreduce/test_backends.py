@@ -51,7 +51,7 @@ def shared_lookup_reducer(key, values, points=None):
 
 class TestResolveBackend:
     def test_available_backends(self):
-        assert available_backends() == ("processes", "serial", "threads")
+        assert available_backends() == ("distributed", "processes", "serial", "threads")
 
     def test_default_is_serial(self):
         assert resolve_backend(None).name == "serial"

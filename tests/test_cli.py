@@ -37,7 +37,9 @@ class TestParser:
             ["solve", "mr-outliers", "--backend", "processes", "--workers", "2"]
         )
         assert args.backend == "processes"
-        assert args.workers == 2
+        # --workers stays a string at parse time: it is either a pool size
+        # or a distributed address list, resolved per backend by the handler.
+        assert args.workers == "2"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "mr-kcenter", "--backend", "spark"])
 
@@ -147,6 +149,59 @@ class TestMain:
         ])
         assert exit_code == 0
         assert "threads" in capsys.readouterr().out
+
+    def test_solve_mr_kcenter_on_distributed_backend(self, capsys):
+        from repro.mapreduce import LocalCluster
+
+        with LocalCluster(2) as cluster:
+            exit_code = main([
+                "solve", "mr-kcenter", "--dataset", "power",
+                "--n-points", "300", "--k", "5", "--ell", "2", "--mu", "2",
+                "--backend", "distributed", "--workers", ",".join(cluster.addresses),
+            ])
+        assert exit_code == 0
+        assert "distributed" in capsys.readouterr().out
+
+    def test_solve_mr_outliers_distributed_from_stream_disk(self, capsys, tmp_path):
+        from repro.mapreduce import LocalCluster
+
+        with LocalCluster(2) as cluster:
+            exit_code = main([
+                "solve", "mr-outliers", "--dataset", "higgs",
+                "--n-points", "400", "--k", "5", "--z", "10",
+                "--ell", "2", "--mu", "2", "--randomized",
+                "--from-stream", "--chunk-size", "100",
+                "--storage", "disk", "--spill-dir", str(tmp_path),
+                "--backend", "distributed", "--workers", ",".join(cluster.addresses),
+            ])
+        assert exit_code == 0
+        assert "streamed" in capsys.readouterr().out
+        assert list(tmp_path.glob("*.npy")) == []
+
+    def test_distributed_requires_worker_addresses(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="--workers"):
+            main([
+                "solve", "mr-kcenter", "--n-points", "200", "--k", "4",
+                "--backend", "distributed",
+            ])
+
+    def test_non_integer_workers_rejected_for_pool_backends(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="integer count"):
+            main([
+                "solve", "mr-kcenter", "--n-points", "200", "--k", "4",
+                "--backend", "threads", "--workers", "host:7071",
+            ])
+
+    def test_worker_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["worker", "--listen", "127.0.0.1:7071", "--spill-dir", "/tmp/x"]
+        )
+        assert args.listen == "127.0.0.1:7071"
+        assert args.spill_dir == "/tmp/x"
 
     def test_solve_sequential_outliers(self, capsys):
         exit_code = main([

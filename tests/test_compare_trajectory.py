@@ -1,0 +1,131 @@
+"""Tests for the nightly benchmark-trajectory comparison script."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.compare_trajectory import (
+    compare,
+    extract_metrics,
+    load_metrics,
+    main,
+)
+
+
+def _stream_doc(points_per_sec: float) -> dict:
+    return {
+        "benchmark": "bench_stream_throughput",
+        "records": [
+            {"mode": "per-point", "batch_size": 1, "points_per_sec": 100.0},
+            {"mode": "batched", "batch_size": 1024, "points_per_sec": points_per_sec},
+        ],
+    }
+
+
+def _mapreduce_doc(points_per_sec: float) -> dict:
+    return {
+        "benchmark": "bench_fig7_streamed_shuffle",
+        "records": [
+            {
+                "backend": "serial", "mode": "streamed", "storage": "memory",
+                "points_per_sec": points_per_sec,
+            },
+            {"backend": "serial", "mode": "in-memory", "storage": "n/a",
+             "points_per_sec": 50.0},
+        ],
+    }
+
+
+class TestExtractMetrics:
+    def test_names_are_config_qualified(self):
+        metrics = extract_metrics(_stream_doc(1000.0))
+        assert metrics == {
+            "bench_stream_throughput/mode=per-point/batch_size=1": 100.0,
+            "bench_stream_throughput/mode=batched/batch_size=1024": 1000.0,
+        }
+
+    def test_na_fields_are_skipped(self):
+        metrics = extract_metrics(_mapreduce_doc(200.0))
+        assert "bench_fig7_streamed_shuffle/backend=serial/mode=in-memory" in metrics
+
+    def test_records_without_throughput_ignored(self):
+        metrics = extract_metrics({"benchmark": "x", "records": [{"radius": 1.0}]})
+        assert metrics == {}
+
+
+class TestCompare:
+    def test_flags_regressions_beyond_threshold(self):
+        previous = {"a": 100.0, "b": 100.0, "c": 100.0}
+        current = {"a": 79.0, "b": 81.0, "c": 130.0}
+        rows = compare(previous, current, threshold=0.20)
+        by_name = {row["metric"]: row for row in rows}
+        assert by_name["a"]["regressed"] is True
+        assert by_name["b"]["regressed"] is False  # -19% is inside the band
+        assert by_name["c"]["regressed"] is False  # improvements never flag
+
+    def test_only_overlapping_metrics_compared(self):
+        rows = compare({"old": 1.0}, {"new": 1.0}, threshold=0.2)
+        assert rows == []
+
+
+class TestMain:
+    def _write(self, directory, stream_speed, mapreduce_speed):
+        directory.mkdir(exist_ok=True)
+        (directory / "BENCH_stream.json").write_text(json.dumps(_stream_doc(stream_speed)))
+        (directory / "BENCH_mapreduce.json").write_text(
+            json.dumps(_mapreduce_doc(mapreduce_speed))
+        )
+
+    def test_no_baseline_is_not_an_error(self, tmp_path, capsys):
+        current = tmp_path / "current"
+        self._write(current, 1000.0, 200.0)
+        code = main(["--previous", str(tmp_path / "missing"), "--current", str(current)])
+        assert code == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_regression_warns_but_exits_zero(self, tmp_path, capsys):
+        previous, current = tmp_path / "prev", tmp_path / "cur"
+        self._write(previous, 1000.0, 200.0)
+        self._write(current, 500.0, 210.0)
+        code = main(["--previous", str(previous), "--current", str(current)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "::warning" in out
+        assert "REGRESSED" in out
+
+    def test_fail_on_regression_flag(self, tmp_path):
+        previous, current = tmp_path / "prev", tmp_path / "cur"
+        self._write(previous, 1000.0, 200.0)
+        self._write(current, 500.0, 210.0)
+        code = main([
+            "--previous", str(previous), "--current", str(current),
+            "--fail-on-regression",
+        ])
+        assert code == 1
+
+    def test_steady_trajectory_is_quiet(self, tmp_path, capsys):
+        previous, current = tmp_path / "prev", tmp_path / "cur"
+        self._write(previous, 1000.0, 200.0)
+        self._write(current, 990.0, 205.0)
+        code = main(["--previous", str(previous), "--current", str(current)])
+        assert code == 0
+        assert "::warning" not in capsys.readouterr().out
+
+    def test_load_metrics_merges_both_files(self, tmp_path):
+        self._write(tmp_path, 1000.0, 200.0)
+        metrics = load_metrics(str(tmp_path))
+        assert any(name.startswith("bench_stream_throughput") for name in metrics)
+        assert any(name.startswith("bench_fig7") for name in metrics)
+
+    def test_empty_current_dir(self, tmp_path, capsys):
+        code = main(["--previous", str(tmp_path), "--current", str(tmp_path)])
+        assert code == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("speed,expected", [(79.9, True), (80.0, False)])
+def test_threshold_boundary(speed, expected):
+    rows = compare({"m": 100.0}, {"m": speed}, threshold=0.20)
+    assert rows[0]["regressed"] is expected
